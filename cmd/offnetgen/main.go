@@ -1,0 +1,111 @@
+// Command offnetgen generates a synthetic Internet with hypergiant offnet
+// deployments and dumps a JSON summary: ISPs, facilities, IXPs, offnet
+// servers, and interconnections. It is the substrate inspection tool — what
+// the pipelines downstream measure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/inet"
+)
+
+type serverDump struct {
+	Addr     string `json:"addr"`
+	HG       string `json:"hypergiant"`
+	ASN      uint32 `json:"asn"`
+	Facility string `json:"facility"`
+	Rack     int    `json:"rack"`
+	CertCN   string `json:"cert_cn"`
+	CertOrg  string `json:"cert_org,omitempty"`
+}
+
+type ispDump struct {
+	ASN       uint32   `json:"asn"`
+	Name      string   `json:"name"`
+	Country   string   `json:"country"`
+	Tier      string   `json:"tier"`
+	Users     float64  `json:"users"`
+	Prefixes  []string `json:"prefixes"`
+	Providers []uint32 `json:"providers"`
+}
+
+type dump struct {
+	Seed       int64        `json:"seed"`
+	ISPs       []ispDump    `json:"isps"`
+	Servers    []serverDump `json:"offnet_servers"`
+	IXPs       int          `json:"ixps"`
+	Facilities int          `json:"facilities"`
+	Peerings   int          `json:"peerings"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("offnetgen: ")
+	seed := flag.Int64("seed", 42, "world seed")
+	tiny := flag.Bool("tiny", false, "generate the miniature test world")
+	epoch := flag.Int("epoch", 2023, "deployment epoch (2021 or 2023)")
+	summary := flag.Bool("summary", false, "print a short summary instead of JSON")
+	snapshot := flag.Bool("snapshot", false, "emit a loadable world snapshot (inet.RestoreJSON format) instead of the flat dump")
+	flag.Parse()
+
+	cfg := inet.DefaultConfig(*seed)
+	if *tiny {
+		cfg = inet.TinyConfig(*seed)
+	}
+	w := inet.Generate(cfg)
+	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DefaultDeployConfig(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *snapshot {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *summary {
+		fmt.Printf("world seed=%d: %d ISPs (%d access), %d facilities, %d IXPs, %.2fB users\n",
+			*seed, len(w.ISPs), len(w.AccessISPs()), len(w.Facilities), len(w.IXPs),
+			w.TotalUsers()/1e9)
+		fmt.Printf("deployment epoch=%d: %d offnet servers in %d ISPs, %d peerings\n",
+			*epoch, len(d.Servers), len(d.HostingISPs()), len(d.Peerings))
+		return
+	}
+
+	out := dump{Seed: *seed, IXPs: len(w.IXPs), Facilities: len(w.Facilities), Peerings: len(d.Peerings)}
+	for _, isp := range w.ISPList() {
+		id := ispDump{
+			ASN: uint32(isp.ASN), Name: isp.Name, Country: isp.Country,
+			Tier: isp.Tier.String(), Users: isp.Users,
+		}
+		for _, p := range isp.Prefixes {
+			id.Prefixes = append(id.Prefixes, p.String())
+		}
+		for _, p := range isp.Providers {
+			id.Providers = append(id.Providers, uint32(p))
+		}
+		out.ISPs = append(out.ISPs, id)
+	}
+	for _, s := range d.Servers {
+		out.Servers = append(out.Servers, serverDump{
+			Addr: s.Addr.String(), HG: s.HG.String(), ASN: uint32(s.ISP),
+			Facility: w.Facilities[s.Facility].Name(), Rack: s.Rack,
+			CertCN: s.Cert.SubjectCN, CertOrg: s.Cert.SubjectOrg,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Command reproduce runs every experiment in the paper and writes a
+// self-contained report directory: REPORT.md with paper-vs-measured numbers
+// and SVG renderings of Figure 1 (world map), Figure 2 (CCDF), and the
+// diurnal sweep.
+//
+//	go run ./cmd/reproduce -out out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"offnetrisk"
+	"offnetrisk/internal/coloc"
+	"offnetrisk/internal/geo"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/optics"
+	"offnetrisk/internal/svgplot"
+	"offnetrisk/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+	seed := flag.Int64("seed", 42, "world seed")
+	tiny := flag.Bool("tiny", false, "use the miniature test world")
+	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	outDir := flag.String("out", "out", "output directory")
+	flag.Parse()
+
+	scale := offnetrisk.ScaleDefault
+	if *tiny {
+		scale = offnetrisk.ScaleTiny
+	}
+	if *large {
+		scale = offnetrisk.ScaleLarge
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	p := offnetrisk.NewPipeline(*seed, scale)
+	var md strings.Builder
+	fmt.Fprintf(&md, "# offnetrisk reproduction report\n\nseed %d, scale %v\n\n", *seed, scale)
+
+	log.Print("running Table 1 pipeline…")
+	t1, err := p.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Table 1 (§2.2)\n\n```\n%s```\n\n", t1)
+
+	log.Print("running colocation pipeline…")
+	col, err := p.Colocation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Table 2, Figures 1–2 (§3.2)\n\n```\n%s```\n\n", col)
+	fmt.Fprintf(&md, "![Figure 1](figure1.svg)\n\n![Figure 2](figure2.svg)\n\n")
+
+	// Figure 2 SVG: user-weighted CCDF, both ξ.
+	var fig2 []svgplot.Series
+	for _, xi := range offnetrisk.Xis {
+		s := svgplot.Series{Name: fmt.Sprintf("ξ=%.1f", xi)}
+		for _, pt := range col.Figure2[xi] {
+			s.X = append(s.X, pt.Share)
+			s.Y = append(s.Y, pt.Users)
+		}
+		fig2 = append(fig2, s)
+	}
+	writeFile(*outDir, "figure2.svg", svgplot.StepLines(
+		"Figure 2: CCDF of traffic fraction served from one facility",
+		"estimated fraction of traffic from one facility", "fraction of users", fig2))
+
+	// Figure 1 SVG: one dot per country at its first metro, shaded by the
+	// ≥2-hypergiant user share.
+	var points []svgplot.MapPoint
+	rows := append([]offnetrisk.CountryRow(nil), col.Figure1...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Country < rows[j].Country })
+	for _, row := range rows {
+		ms := geo.MetrosIn(row.Country)
+		if len(ms) == 0 {
+			continue
+		}
+		points = append(points, svgplot.MapPoint{
+			LatDeg: ms[0].Loc.LatDeg, LonDeg: ms[0].Loc.LonDeg,
+			Value: row.AtLeast2, Label: row.Country,
+		})
+	}
+	writeFile(*outDir, "figure1.svg", svgplot.WorldMap(
+		"Figure 1a: users in ISPs hosting ≥2 hypergiants", points))
+
+	// Reachability plot of the busiest analyzed ISP: the raw material the
+	// ξ extraction works on (the OPTICS paper's signature diagram).
+	if reach := reachabilityOf(p); len(reach) > 0 {
+		writeFile(*outDir, "reachability.svg", svgplot.Bars(
+			"OPTICS reachability plot (busiest analyzed ISP)",
+			"processing order", "reachability distance (ms)", reach))
+		fmt.Fprintf(&md, "![reachability](reachability.svg)\n\n")
+	}
+
+	log.Print("running peering survey…")
+	ps, err := p.PeeringSurvey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Peering survey (§4.2.1)\n\n```\n%s```\n\n", ps)
+
+	log.Print("running capacity study…")
+	cs, err := p.CapacityStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Capacity (§4.1, §4.2.2)\n\n```\n%s```\n\n![diurnal](diurnal.svg)\n\n", cs)
+
+	var nearby, distant svgplot.Series
+	nearby.Name, distant.Name = "nearby (offnet)", "distant (interdomain)"
+	for _, pt := range cs.Diurnal {
+		nearby.X = append(nearby.X, float64(pt.Hour))
+		nearby.Y = append(nearby.Y, pt.NearbyPct)
+		distant.X = append(distant.X, float64(pt.Hour))
+		distant.Y = append(distant.Y, pt.DistantPct)
+	}
+	writeFile(*outDir, "diurnal.svg", svgplot.Lines(
+		"§4.1: where traffic is served, by hour", "hour of day", "% of traffic",
+		[]svgplot.Series{nearby, distant}))
+
+	log.Print("running cascade study…")
+	cas, err := p.CascadeStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Cascades (§3.3, §4.3)\n\n```\n%s```\n\n", cas)
+
+	log.Print("running mapping study…")
+	mp, err := p.MappingStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## DNS mapping methodology (§3.2)\n\n```\n%s```\n\n", mp)
+
+	log.Print("running mitigation study…")
+	mit, err := p.MitigationStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Isolation what-if (§6)\n\n```\n%s```\n", mit)
+
+	log.Print("running sensitivity sweeps…")
+	fmt.Fprintf(&md, "## Sensitivity sweeps (DESIGN.md §5)\n\n```\n")
+	if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
+		fmt.Fprint(&md, r)
+	}
+	if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
+		fmt.Fprint(&md, r)
+	}
+	if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
+		fmt.Fprint(&md, r)
+	}
+	fmt.Fprintf(&md, "```\n\n")
+
+	log.Print("scoring against the paper…")
+	suite, err := p.Conformance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(&md, "## Conformance against the paper\n\n%s\n", suite.Markdown())
+
+	writeFile(*outDir, "REPORT.md", md.String())
+	log.Printf("report written to %s (%d/%d conformance checks passed)",
+		filepath.Join(*outDir, "REPORT.md"), suite.Passed(), len(suite.Checks))
+}
+
+// reachabilityOf recomputes the OPTICS ordering for the ISP with the most
+// measured offnets and returns its reachability values.
+func reachabilityOf(p *offnetrisk.Pipeline) []float64 {
+	w, d, err := p.World2023()
+	if err != nil {
+		return nil
+	}
+	c := mlab.Measure(d, mlab.Sites(163, p.Seed), mlab.DefaultConfig(p.Seed))
+	var bestAS inet.ASN
+	best := 0
+	for as, ms := range c.ByISP {
+		if len(ms) > best {
+			best, bestAS = len(ms), as
+		}
+	}
+	if best < 2 {
+		return nil
+	}
+	ms := c.ByISP[bestAS]
+	dm := coloc.DistanceMatrix(ms, c.GoodSites[bestAS], coloc.DiscrepancyExclusion)
+	res := optics.Run(len(ms), func(i, j int) float64 { return dm[i][j] }, 2, math.Inf(1))
+	_ = w
+	return res.Reach
+}
+
+func writeFile(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

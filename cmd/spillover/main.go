@@ -1,0 +1,114 @@
+// Command spillover runs the §4 experiments: the peering survey (§4.2.1),
+// the lockdown replay and diurnal sweep (§4.1), the PNI census (§4.2.2), and
+// the facility-failure cascade study (§4.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"offnetrisk"
+	"offnetrisk/internal/capacity"
+	"offnetrisk/internal/cascade"
+	"offnetrisk/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spillover: ")
+	seed := flag.Int64("seed", 42, "world seed")
+	tiny := flag.Bool("tiny", false, "use the miniature test world")
+	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	storm := flag.Bool("storm", false, "also run the perfect-storm scenario")
+	mitigate := flag.Bool("mitigate", false, "also run the §6 isolation what-if")
+	risk := flag.Bool("risk", false, "also run the Monte Carlo colocation-risk ablation")
+	sweeps := flag.Bool("sweeps", false, "also run the parameter sensitivity sweeps")
+	flag.Parse()
+
+	scale := offnetrisk.ScaleDefault
+	if *tiny {
+		scale = offnetrisk.ScaleTiny
+	}
+	if *large {
+		scale = offnetrisk.ScaleLarge
+	}
+	p := offnetrisk.NewPipeline(*seed, scale)
+
+	ps, err := p.PeeringSurvey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ps)
+	fmt.Println()
+
+	cap, err := p.CapacityStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cap)
+	fmt.Println()
+
+	cas, err := p.CascadeStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cas)
+
+	if *mitigate {
+		mit, err := p.MitigationStudy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(mit)
+	}
+
+	if *risk {
+		w, d, err := p.World2023()
+		if err != nil {
+			log.Fatal(err)
+		}
+		decol := cascade.Decolocate(d)
+		mCol := capacity.Build(d, capacity.DefaultConfig(*seed))
+		mDecol := capacity.Build(decol, capacity.DefaultConfig(*seed))
+		col := cascade.MonteCarlo(mCol, d, 3, 120, *seed)
+		dec := cascade.MonteCarlo(mDecol, decol, 3, 120, *seed)
+		fmt.Printf("\nMonte Carlo risk (3 random facility outages, %d trials):\n", col.Trials)
+		fmt.Printf("  colocated (today):  %.2f hypergiants hit/outage, %.1fM users affected on average\n",
+			col.MeanHGs, col.MeanAffected/1e6)
+		fmt.Printf("  de-colocated:       %.2f hypergiants hit/outage, %.1fM users affected on average\n",
+			dec.MeanHGs, dec.MeanAffected/1e6)
+		_ = w
+	}
+
+	if *sweeps {
+		fmt.Println()
+		if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
+			fmt.Print(r)
+		} else {
+			log.Fatal(err)
+		}
+		if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
+			fmt.Print(r)
+		} else {
+			log.Fatal(err)
+		}
+		if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
+			fmt.Print(r)
+		} else {
+			log.Fatal(err)
+		}
+	}
+
+	if *storm {
+		sc, err := p.PerfectStorm(12, 1.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nperfect storm (12 facilities down, +50%% surge on all hypergiants):\n")
+		fmt.Printf("  %s at %s; direct users %.1fM; collateral: %d ISPs / %.1fM users; congested: %d IXPs, %d transits\n",
+			sc.ISP, sc.Facility, sc.DirectUsers/1e6, sc.CollateralISPs, sc.CollateralUsers/1e6,
+			sc.CongestedIXPs, sc.CongestedTransits)
+	}
+}

@@ -1,0 +1,3 @@
+module offnetrisk
+
+go 1.22

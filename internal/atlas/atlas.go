@@ -1,0 +1,217 @@
+// Package atlas assembles the end product a measurement study like the
+// paper's would publish: a located offnet dataset. Each discovered offnet
+// address is annotated with its hosting ISP, its latency-derived cluster
+// (facility proxy), and a metro-level location inferred by majority vote
+// over the cluster's reverse-DNS geohints — with per-entry confidence and,
+// uniquely to the simulation, ground-truth scoring.
+package atlas
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"offnetrisk/internal/coloc"
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/rdns"
+)
+
+// Entry is one located offnet server.
+type Entry struct {
+	Addr netaddr.Addr
+	HG   string
+	ISP  inet.ASN
+	// Cluster is the per-ISP OPTICS label (-1: not colocated with anything).
+	Cluster int
+	// Metro is the inferred metro code, "" when unlocatable.
+	Metro string
+	// Confidence is the fraction of the cluster's located hostnames that
+	// agree with Metro.
+	Confidence float64
+	// TrueMetro is the simulation's ground truth (unknowable in the real
+	// pipeline; empty only if the server vanished from the world).
+	TrueMetro string
+}
+
+// Build assembles the atlas from the colocation analysis at one ξ plus the
+// PTR corpus. Cluster members inherit the cluster's majority location; noise
+// servers locate from their own hostname alone.
+func Build(d *hypergiant.Deployment, c *mlab.Campaign, a *coloc.Analysis, ptrs rdns.PTRTable, xi float64) []Entry {
+	w := d.World
+	var out []Entry
+
+	asns := make([]inet.ASN, 0, len(a.PerISP))
+	for as := range a.PerISP {
+		asns = append(asns, as)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	for _, as := range asns {
+		isp := a.PerISP[as]
+		x, ok := isp.PerXi[xi]
+		if !ok {
+			continue
+		}
+		ms := c.ByISP[as]
+
+		// Per-cluster location votes.
+		votes := make(map[int]map[string]int)
+		for i, l := range x.Labels {
+			if l < 0 {
+				continue
+			}
+			host, ok := ptrs[ms[i].Target.Addr]
+			if !ok {
+				continue
+			}
+			if m, ok := rdns.ExtractMetro(host); ok {
+				if votes[l] == nil {
+					votes[l] = make(map[string]int)
+				}
+				votes[l][m.Code]++
+			}
+		}
+		majority := make(map[int]struct {
+			metro string
+			conf  float64
+		})
+		for l, vs := range votes {
+			var best string
+			var bestN, total int
+			codes := make([]string, 0, len(vs))
+			for code := range vs {
+				codes = append(codes, code)
+			}
+			sort.Strings(codes)
+			for _, code := range codes {
+				n := vs[code]
+				total += n
+				if n > bestN {
+					best, bestN = code, n
+				}
+			}
+			majority[l] = struct {
+				metro string
+				conf  float64
+			}{best, float64(bestN) / float64(total)}
+		}
+
+		for i, l := range x.Labels {
+			e := Entry{
+				Addr:    ms[i].Target.Addr,
+				HG:      ms[i].Target.HG.String(),
+				ISP:     as,
+				Cluster: l,
+			}
+			if f, ok := w.Facilities[ms[i].Target.Facility]; ok {
+				e.TrueMetro = f.Metro.Code
+			}
+			if l >= 0 {
+				if mv, ok := majority[l]; ok {
+					e.Metro, e.Confidence = mv.metro, mv.conf
+				}
+			} else if host, ok := ptrs[e.Addr]; ok {
+				if m, ok := rdns.ExtractMetro(host); ok {
+					e.Metro, e.Confidence = m.Code, 1
+				}
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats summarizes an atlas: coverage (entries with a location) and
+// accuracy among located entries (vs simulation ground truth).
+type Stats struct {
+	Entries  int
+	Located  int
+	Correct  int
+	Coverage float64
+	Accuracy float64
+}
+
+// Score computes the atlas statistics.
+func Score(entries []Entry) Stats {
+	s := Stats{Entries: len(entries)}
+	for _, e := range entries {
+		if e.Metro == "" {
+			continue
+		}
+		s.Located++
+		if e.Metro == e.TrueMetro {
+			s.Correct++
+		}
+	}
+	if s.Entries > 0 {
+		s.Coverage = float64(s.Located) / float64(s.Entries)
+	}
+	if s.Located > 0 {
+		s.Accuracy = float64(s.Correct) / float64(s.Located)
+	}
+	return s
+}
+
+// WriteCSV emits the atlas as CSV with a header row.
+func WriteCSV(w io.Writer, entries []Entry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ip", "hypergiant", "asn", "cluster", "metro", "confidence", "true_metro"}); err != nil {
+		return fmt.Errorf("atlas: write header: %w", err)
+	}
+	for _, e := range entries {
+		rec := []string{
+			e.Addr.String(), e.HG, strconv.FormatUint(uint64(e.ISP), 10),
+			strconv.Itoa(e.Cluster), e.Metro,
+			strconv.FormatFloat(e.Confidence, 'f', 3, 64), e.TrueMetro,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("atlas: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses an atlas written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Entry, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("atlas: read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	var out []Entry
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("atlas: row %d: %d fields", i+2, len(row))
+		}
+		addr, err := netaddr.ParseAddr(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("atlas: row %d: %w", i+2, err)
+		}
+		asn, err := strconv.ParseUint(row[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("atlas: row %d: %w", i+2, err)
+		}
+		cluster, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("atlas: row %d: %w", i+2, err)
+		}
+		conf, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("atlas: row %d: %w", i+2, err)
+		}
+		out = append(out, Entry{
+			Addr: addr, HG: row[1], ISP: inet.ASN(asn), Cluster: cluster,
+			Metro: row[4], Confidence: conf, TrueMetro: row[6],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package bgp_test
+
+import (
+	"fmt"
+
+	"offnetrisk/internal/bgp"
+	"offnetrisk/internal/inet"
+)
+
+// Example builds a small hierarchy — a backbone, a transit provider, an
+// access ISP, and a content network peering only with the backbone — and
+// shows Gao-Rexford path selection.
+func Example() {
+	const (
+		backbone = inet.ASN(100)
+		transit  = inet.ASN(1000)
+		access   = inet.ASN(10000)
+		content  = inet.ASN(90000)
+	)
+	g := bgp.NewGraph()
+	g.AddProvider(transit, backbone)
+	g.AddProvider(access, transit)
+	g.AddPeer(content, backbone)
+
+	rib := g.PathsTo(access)
+	fmt.Println("content → access:", rib.Path(content))
+	r, _ := rib.RouteOf(content)
+	fmt.Println("route kind:", r.Kind)
+
+	// Peering with the access network shortens the path to one hop.
+	g.AddPeer(content, access)
+	rib = g.PathsTo(access)
+	fmt.Println("after peering:", rib.Path(content))
+	// Output:
+	// content → access: [90000 100 1000 10000]
+	// route kind: peer
+	// after peering: [90000 10000]
+}

@@ -1,0 +1,291 @@
+// Package capacity models how hypergiant traffic is actually served — local
+// offnets first, spillover across interdomain links second — and reproduces
+// the §4 evidence: offnets running near capacity (the COVID-lockdown Netflix
+// replay and the diurnal distant-server effect, §4.1) and under-provisioned
+// dedicated peering (the PNI census, §4.2.2).
+//
+// The serving order per (hypergiant, ISP) follows §4.1–4.3: offnet up to
+// (burst) capacity, then the dedicated PNI, then shared IXP ports, then
+// transit — each layer with finite capacity, each spill landing on a more
+// shared resource.
+package capacity
+
+import (
+	"math"
+	"sort"
+
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/rngutil"
+	"offnetrisk/internal/traffic"
+)
+
+// Config tunes the capacity model.
+type Config struct {
+	Seed int64
+	// PeakMbpsPerUser matches the deployment's demand model.
+	PeakMbpsPerUser float64
+	// OffnetProvisioning is the ratio of offnet site capacity to the
+	// offnet-servable peak demand. Near 1.0: "offnets are running near
+	// capacity, with little ability to absorb sudden increases".
+	OffnetProvisioning float64
+	// BurstFactor is how far above nominal capacity an offnet can be pushed
+	// briefly; the COVID data implies ≈1.2 (offnet traffic grew only 20%
+	// under a 58% demand spike).
+	BurstFactor float64
+}
+
+// DefaultConfig returns the calibration used by the experiments.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:               seed,
+		PeakMbpsPerUser:    0.3,
+		OffnetProvisioning: traffic.SteadyOffnetProvisioning,
+		BurstFactor:        1.2,
+	}
+}
+
+func (c Config) sanitized() Config {
+	if c.PeakMbpsPerUser <= 0 {
+		c.PeakMbpsPerUser = 0.3
+	}
+	if c.OffnetProvisioning <= 0 {
+		c.OffnetProvisioning = traffic.SteadyOffnetProvisioning
+	}
+	if c.BurstFactor < 1 {
+		c.BurstFactor = 1.2
+	}
+	return c
+}
+
+// Diurnal is a 24-hour demand multiplier profile: overnight trough, evening
+// peak — the shape of residential access traffic.
+var Diurnal = [24]float64{
+	0.42, 0.36, 0.33, 0.32, 0.33, 0.37, 0.45, 0.55,
+	0.62, 0.66, 0.68, 0.70, 0.72, 0.72, 0.73, 0.76,
+	0.82, 0.90, 0.97, 1.00, 0.99, 0.92, 0.74, 0.55,
+}
+
+// Site is one hypergiant's offnet plant in one ISP (all its servers pooled),
+// with nominal and burst serving capacity in Gbps.
+type Site struct {
+	HG          traffic.HG
+	ISP         inet.ASN
+	NominalGbps float64
+	BurstGbps   float64
+	// Facilities hosting the servers; losing all of them removes the site.
+	Facilities map[inet.FacilityID]float64 // facility → share of capacity
+}
+
+// Model is the serving-capacity view of a deployment.
+type Model struct {
+	cfg Config
+	dep *hypergiant.Deployment
+	// Sites by (hg, isp): offnets inside access networks.
+	Sites map[traffic.HG]map[inet.ASN]*Site
+	// Upstream sites by (hg, transit AS): offnets hosted in transit
+	// providers, absorbing their customers' spillover ("offnets ... can
+	// also serve users downstream from a transit provider").
+	Upstream map[traffic.HG]map[inet.ASN]*Site
+	// PNIGbps and IXP peering capacity by (hg, isp).
+	PNIGbps map[traffic.HG]map[inet.ASN]float64
+	IXPPort map[traffic.HG]map[inet.ASN]float64
+	// IXPOf maps (hg, isp) to the exchange carrying that peering.
+	IXPIDOf map[traffic.HG]map[inet.ASN]inet.IXPID
+}
+
+// Build derives the capacity model from a deployment. Offnet site capacity
+// is calibrated to the offnet-servable share of peak demand times the
+// provisioning ratio, reproducing "offnets run near capacity".
+func Build(d *hypergiant.Deployment, cfg Config) *Model {
+	cfg = cfg.sanitized()
+	m := &Model{
+		cfg:      cfg,
+		dep:      d,
+		Sites:    make(map[traffic.HG]map[inet.ASN]*Site),
+		Upstream: make(map[traffic.HG]map[inet.ASN]*Site),
+		PNIGbps:  make(map[traffic.HG]map[inet.ASN]float64),
+		IXPPort:  make(map[traffic.HG]map[inet.ASN]float64),
+		IXPIDOf:  make(map[traffic.HG]map[inet.ASN]inet.IXPID),
+	}
+	for _, hg := range traffic.All {
+		m.Sites[hg] = make(map[inet.ASN]*Site)
+		m.Upstream[hg] = make(map[inet.ASN]*Site)
+		m.PNIGbps[hg] = make(map[inet.ASN]float64)
+		m.IXPPort[hg] = make(map[inet.ASN]float64)
+		m.IXPIDOf[hg] = make(map[inet.ASN]inet.IXPID)
+	}
+
+	for _, hg := range traffic.All {
+		for _, as := range d.HostISPs(hg) {
+			isp := d.World.ISPs[as]
+			r := rngutil.New(cfg.Seed ^ int64(as)*127 ^ int64(hg)*0x27220a95)
+			var servable float64
+			if isp.Tier == inet.TierTransit {
+				// Transit-hosted offnets are sized against the spillover
+				// their downstream customers generate in steady state.
+				servable = d.World.DownstreamUsers(as) * hg.Share() *
+					cfg.PeakMbpsPerUser / 1000 * hg.SteadyInterdomainShare()
+			} else {
+				servable = m.PeakDemand(hg, as) * hg.OffnetFraction()
+			}
+			nominal := servable * cfg.OffnetProvisioning * rngutil.Jitter(r, 1.0, 0.06)
+			site := &Site{
+				HG:          hg,
+				ISP:         as,
+				NominalGbps: nominal,
+				BurstGbps:   nominal * cfg.BurstFactor,
+				Facilities:  make(map[inet.FacilityID]float64),
+			}
+			servers := d.ServersOf(hg, as)
+			for _, s := range servers {
+				site.Facilities[s.Facility] += 1.0 / float64(len(servers))
+			}
+			if isp.Tier == inet.TierTransit {
+				m.Upstream[hg][as] = site
+			} else {
+				m.Sites[hg][as] = site
+			}
+		}
+	}
+	for _, p := range d.Peerings {
+		switch p.Kind {
+		case hypergiant.PeerPNI:
+			m.PNIGbps[p.HG][p.ISP] += p.CapacityGbps
+		case hypergiant.PeerIXP:
+			m.IXPPort[p.HG][p.ISP] += p.CapacityGbps
+			m.IXPIDOf[p.HG][p.ISP] = p.IXP
+		}
+	}
+	return m
+}
+
+// PeakDemand is the hypergiant's peak-hour demand in the ISP, in Gbps.
+func (m *Model) PeakDemand(hg traffic.HG, as inet.ASN) float64 {
+	isp, ok := m.dep.World.ISPs[as]
+	if !ok {
+		return 0
+	}
+	return isp.Users * hg.Share() * m.cfg.PeakMbpsPerUser / 1000
+}
+
+// Flow is how one (hypergiant, ISP) demand was served, in Gbps.
+type Flow struct {
+	HG  traffic.HG
+	ISP inet.ASN
+	// Demand and its split across serving layers. UpstreamOffnet is spill
+	// absorbed by an offnet hosted in one of the ISP's transit providers;
+	// Transit is what travels beyond even those.
+	Demand, Offnet, PNI, IXP, UpstreamOffnet, Transit float64
+}
+
+// Interdomain returns the traffic crossing an interdomain boundary.
+func (f Flow) Interdomain() float64 { return f.PNI + f.IXP + f.UpstreamOffnet + f.Transit }
+
+// SharedSpill returns the traffic landing on shared (IXP/transit)
+// infrastructure — the collateral-damage currency of §4.3. Upstream-offnet
+// traffic rides the shared customer↔provider link too.
+func (f Flow) SharedSpill() float64 { return f.IXP + f.UpstreamOffnet + f.Transit }
+
+// Serve computes the steady-state serving split for every (hypergiant, ISP)
+// at the given demand multiplier: offnets serve up to their nominal
+// capacity. failedFacilities removes the corresponding share of offnet
+// capacity (nil for none). The split per layer follows the §4 spillover
+// order.
+func (m *Model) Serve(mult float64, scale map[traffic.HG]float64, failedFacilities map[inet.FacilityID]bool) []Flow {
+	return m.serve(mult, scale, failedFacilities, false)
+}
+
+// ServeBurst is Serve with offnets pushed to their short-term burst ceiling
+// — the regime of sudden spikes and failovers, where operators squeeze
+// whatever the boxes will give (the COVID data shows ≈20%% above nominal).
+func (m *Model) ServeBurst(mult float64, scale map[traffic.HG]float64, failedFacilities map[inet.FacilityID]bool) []Flow {
+	return m.serve(mult, scale, failedFacilities, true)
+}
+
+func (m *Model) serve(mult float64, scale map[traffic.HG]float64, failedFacilities map[inet.FacilityID]bool, burst bool) []Flow {
+	var flows []Flow
+	// Per-(hg, transit) upstream pools, drained greedily in deterministic
+	// flow order within one serving pass.
+	pool := make(map[traffic.HG]map[inet.ASN]float64)
+	for _, hg := range traffic.All {
+		pool[hg] = make(map[inet.ASN]float64, len(m.Upstream[hg]))
+		for as, site := range m.Upstream[hg] {
+			avail := site.NominalGbps
+			if burst {
+				avail = site.BurstGbps
+			}
+			if failedFacilities != nil {
+				lost := 0.0
+				for fid, share := range site.Facilities {
+					if failedFacilities[fid] {
+						lost += share
+					}
+				}
+				avail *= 1 - lost
+			}
+			pool[hg][as] = avail
+		}
+	}
+	for _, hg := range traffic.All {
+		s := 1.0
+		if scale != nil {
+			if v, ok := scale[hg]; ok {
+				s = v
+			}
+		}
+		isps := make([]inet.ASN, 0, len(m.Sites[hg]))
+		for as := range m.Sites[hg] {
+			isps = append(isps, as)
+		}
+		sort.Slice(isps, func(i, j int) bool { return isps[i] < isps[j] })
+		for _, as := range isps {
+			site := m.Sites[hg][as]
+			demand := m.PeakDemand(hg, as) * mult * s
+			avail := site.NominalGbps
+			if burst {
+				avail = site.BurstGbps
+			}
+			if failedFacilities != nil {
+				lost := 0.0
+				for fid, share := range site.Facilities {
+					if failedFacilities[fid] {
+						lost += share
+					}
+				}
+				avail *= 1 - lost
+			}
+			// Offnets can serve at most the cacheable share of demand.
+			offnet := math.Min(demand*hg.OffnetFraction(), avail)
+			rest := demand - offnet
+			pni := math.Min(rest, m.PNIGbps[hg][as])
+			rest -= pni
+			ixp := math.Min(rest, m.IXPPort[hg][as])
+			rest -= ixp
+			// Remaining spill heads to the ISP's providers; offnets hosted
+			// there absorb what their pools allow.
+			var upstream float64
+			if rest > 0 {
+				if isp, ok := m.dep.World.ISPs[as]; ok {
+					for _, prov := range isp.Providers {
+						if rest <= 0 {
+							break
+						}
+						if p, ok := pool[hg][prov]; ok && p > 0 {
+							take := math.Min(rest, p)
+							pool[hg][prov] -= take
+							upstream += take
+							rest -= take
+						}
+					}
+				}
+			}
+			flows = append(flows, Flow{
+				HG: hg, ISP: as,
+				Demand: demand, Offnet: offnet, PNI: pni, IXP: ixp,
+				UpstreamOffnet: upstream, Transit: rest,
+			})
+		}
+	}
+	return flows
+}

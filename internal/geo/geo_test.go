@@ -1,0 +1,191 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	lhr, _ := MetroByCode("lhr")
+	nyc, _ := MetroByCode("nyc")
+	cdg, _ := MetroByCode("cdg")
+	syd, _ := MetroByCode("syd")
+
+	cases := []struct {
+		name     string
+		a, b     Point
+		wantKm   float64
+		tolerate float64
+	}{
+		{"london-newyork", lhr.Loc, nyc.Loc, 5570, 100},
+		{"london-paris", lhr.Loc, cdg.Loc, 344, 30},
+		{"london-sydney", lhr.Loc, syd.Loc, 16990, 200},
+		{"same-point", nyc.Loc, nyc.Loc, 0, 1e-9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DistanceKm(tc.a, tc.b)
+			if math.Abs(got-tc.wantKm) > tc.tolerate {
+				t.Errorf("DistanceKm = %.1f, want %.1f ± %.1f", got, tc.wantKm, tc.tolerate)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{clampLat(lat1), clampLon(lon1)}
+		b := Point{clampLat(lat2), clampLon(lon2)}
+		d1 := DistanceKm(a, b)
+		d2 := DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Point{clampLat(lat1), clampLon(lon1)}
+		b := Point{clampLat(lat2), clampLon(lon2)}
+		c := Point{clampLat(lat3), clampLon(lon3)}
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceBounds(t *testing.T) {
+	// No two points on Earth can be farther apart than half the circumference.
+	maxD := math.Pi * EarthRadiusKm
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{clampLat(lat1), clampLon(lon1)}
+		b := Point{clampLat(lat2), clampLon(lon2)}
+		d := DistanceKm(a, b)
+		return d >= 0 && d <= maxD+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinRTTBelowFiberRTT(t *testing.T) {
+	// The physical lower bound must never exceed the fiber model for the
+	// same pair: otherwise the impossibility filter would reject its own
+	// synthetic measurements.
+	for _, a := range Metros[:20] {
+		for _, b := range Metros[:20] {
+			min := MinRTT(a.Loc, b.Loc)
+			fiber := FiberRTT(a.Loc, b.Loc, 1.0)
+			if min > fiber {
+				t.Fatalf("MinRTT(%s,%s)=%v > FiberRTT=%v", a.Code, b.Code, min, fiber)
+			}
+		}
+	}
+}
+
+func TestFiberRTTStretchClamp(t *testing.T) {
+	lhr, _ := MetroByCode("lhr")
+	nyc, _ := MetroByCode("nyc")
+	base := FiberRTT(lhr.Loc, nyc.Loc, 1.0)
+	clamped := FiberRTT(lhr.Loc, nyc.Loc, 0.5)
+	if clamped != base {
+		t.Errorf("stretch < 1 should clamp to 1: got %v want %v", clamped, base)
+	}
+	stretched := FiberRTT(lhr.Loc, nyc.Loc, 2.0)
+	if stretched <= base {
+		t.Errorf("stretch 2.0 should exceed base: %v <= %v", stretched, base)
+	}
+}
+
+func TestMinRTTKnownMagnitude(t *testing.T) {
+	lhr, _ := MetroByCode("lhr")
+	nyc, _ := MetroByCode("nyc")
+	// ~5570 km * 2 / 299.79 km/ms ≈ 37 ms.
+	got := MinRTT(lhr.Loc, nyc.Loc)
+	if got < 30*time.Millisecond || got > 45*time.Millisecond {
+		t.Errorf("MinRTT(LHR,NYC) = %v, want ≈37ms", got)
+	}
+}
+
+func TestMetroCatalogue(t *testing.T) {
+	codes := make(map[string]bool)
+	for _, m := range Metros {
+		if len(m.Code) != 3 {
+			t.Errorf("metro %q: code must be 3 letters", m.Code)
+		}
+		if codes[m.Code] {
+			t.Errorf("duplicate metro code %q", m.Code)
+		}
+		codes[m.Code] = true
+		if !m.Loc.Valid() {
+			t.Errorf("metro %q: invalid location %v", m.Code, m.Loc)
+		}
+		if len(m.Country) != 2 {
+			t.Errorf("metro %q: country %q not ISO alpha-2", m.Code, m.Country)
+		}
+	}
+	if len(Metros) < 80 {
+		t.Errorf("catalogue too small: %d metros", len(Metros))
+	}
+}
+
+func TestMetroByCode(t *testing.T) {
+	m, ok := MetroByCode("han")
+	if !ok || m.City != "Hanoi" || m.Country != "VN" {
+		t.Errorf("MetroByCode(han) = %+v, %v", m, ok)
+	}
+	if _, ok := MetroByCode("zzz"); ok {
+		t.Error("MetroByCode(zzz) should not exist")
+	}
+}
+
+func TestFigure1cCountriesPresent(t *testing.T) {
+	// Figure 1c highlights these countries; the synthetic world must be able
+	// to place infrastructure there.
+	for _, cc := range []string{"MX", "BO", "UY", "NZ", "MN", "GL"} {
+		if len(MetrosIn(cc)) == 0 {
+			t.Errorf("no metros in Figure 1c country %s", cc)
+		}
+	}
+}
+
+func TestCountriesUniqueSorted(t *testing.T) {
+	cs := Countries()
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		if seen[c] {
+			t.Errorf("duplicate country %s", c)
+		}
+		seen[c] = true
+	}
+	if len(cs) < 40 {
+		t.Errorf("too few countries: %d", len(cs))
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{-91, 0}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Valid(); got != tc.want {
+			t.Errorf("Valid(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(math.Abs(v), 180) - 90 }
+func clampLon(v float64) float64 { return math.Mod(math.Abs(v), 360) - 180 }

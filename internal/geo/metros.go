@@ -1,0 +1,155 @@
+package geo
+
+// Metros is a catalogue of world metropolitan areas used to place ISPs,
+// facilities, IXPs, and vantage points. Codes follow the airport-code style
+// the paper observes in Meta offnet hostnames (fhan14-4.fna.fbcdn.net → han,
+// Hanoi) and in router PTR naming. Coordinates are approximate city centres.
+//
+// The set deliberately spans the countries the paper calls out in Figure 1c
+// (Mexico, Bolivia, Uruguay, New Zealand, Mongolia, Greenland) plus a broad
+// mix across continents so the per-country aggregation in Figure 1 has
+// realistic variance.
+var Metros = []Metro{
+	// North America
+	{"nyc", "New York", "US", Point{40.71, -74.01}},
+	{"lax", "Los Angeles", "US", Point{34.05, -118.24}},
+	{"chi", "Chicago", "US", Point{41.88, -87.63}},
+	{"dfw", "Dallas", "US", Point{32.78, -96.80}},
+	{"sea", "Seattle", "US", Point{47.61, -122.33}},
+	{"mia", "Miami", "US", Point{25.76, -80.19}},
+	{"atl", "Atlanta", "US", Point{33.75, -84.39}},
+	{"den", "Denver", "US", Point{39.74, -104.99}},
+	{"yyz", "Toronto", "CA", Point{43.65, -79.38}},
+	{"yvr", "Vancouver", "CA", Point{49.28, -123.12}},
+	{"mex", "Mexico City", "MX", Point{19.43, -99.13}},
+	{"gdl", "Guadalajara", "MX", Point{20.67, -103.35}},
+	{"mty", "Monterrey", "MX", Point{25.69, -100.32}},
+	// South America
+	{"gru", "Sao Paulo", "BR", Point{-23.55, -46.63}},
+	{"gig", "Rio de Janeiro", "BR", Point{-22.91, -43.17}},
+	{"eze", "Buenos Aires", "AR", Point{-34.60, -58.38}},
+	{"scl", "Santiago", "CL", Point{-33.45, -70.67}},
+	{"bog", "Bogota", "CO", Point{4.71, -74.07}},
+	{"lim", "Lima", "PE", Point{-12.05, -77.04}},
+	{"lpb", "La Paz", "BO", Point{-16.50, -68.15}},
+	{"vvi", "Santa Cruz", "BO", Point{-17.78, -63.18}},
+	{"mvd", "Montevideo", "UY", Point{-34.90, -56.16}},
+	// Europe
+	{"lhr", "London", "GB", Point{51.51, -0.13}},
+	{"ltn", "Luton", "GB", Point{51.88, -0.42}},
+	{"bhx", "Birmingham", "GB", Point{52.49, -1.89}},
+	{"cdg", "Paris", "FR", Point{48.86, 2.35}},
+	{"ory", "Orly", "FR", Point{48.74, 2.38}},
+	{"mrs", "Marseille", "FR", Point{43.30, 5.37}},
+	{"fra", "Frankfurt", "DE", Point{50.11, 8.68}},
+	{"ber", "Berlin", "DE", Point{52.52, 13.40}},
+	{"muc", "Munich", "DE", Point{48.14, 11.58}},
+	{"ams", "Amsterdam", "NL", Point{52.37, 4.90}},
+	{"mad", "Madrid", "ES", Point{40.42, -3.70}},
+	{"bcn", "Barcelona", "ES", Point{41.39, 2.17}},
+	{"mxp", "Milan", "IT", Point{45.46, 9.19}},
+	{"fco", "Rome", "IT", Point{41.90, 12.50}},
+	{"waw", "Warsaw", "PL", Point{52.23, 21.01}},
+	{"prg", "Prague", "CZ", Point{50.08, 14.44}},
+	{"vie", "Vienna", "AT", Point{48.21, 16.37}},
+	{"sto", "Stockholm", "SE", Point{59.33, 18.07}},
+	{"osl", "Oslo", "NO", Point{59.91, 10.75}},
+	{"hel", "Helsinki", "FI", Point{60.17, 24.94}},
+	{"kbp", "Kyiv", "UA", Point{50.45, 30.52}},
+	{"otp", "Bucharest", "RO", Point{44.43, 26.10}},
+	{"sof", "Sofia", "BG", Point{42.70, 23.32}},
+	{"ath", "Athens", "GR", Point{37.98, 23.73}},
+	{"lis", "Lisbon", "PT", Point{38.72, -9.14}},
+	{"dub", "Dublin", "IE", Point{53.35, -6.26}},
+	{"zrh", "Zurich", "CH", Point{47.37, 8.54}},
+	{"bud", "Budapest", "HU", Point{47.50, 19.04}},
+	// Africa
+	{"jnb", "Johannesburg", "ZA", Point{-26.20, 28.05}},
+	{"cpt", "Cape Town", "ZA", Point{-33.92, 18.42}},
+	{"los", "Lagos", "NG", Point{6.52, 3.38}},
+	{"abv", "Abuja", "NG", Point{9.06, 7.50}},
+	{"nbo", "Nairobi", "KE", Point{-1.29, 36.82}},
+	{"cai", "Cairo", "EG", Point{30.04, 31.24}},
+	{"cmn", "Casablanca", "MA", Point{33.57, -7.59}},
+	{"acc", "Accra", "GH", Point{5.60, -0.19}},
+	{"dar", "Dar es Salaam", "TZ", Point{-6.79, 39.21}},
+	{"tun", "Tunis", "TN", Point{36.81, 10.18}},
+	// Middle East
+	{"dxb", "Dubai", "AE", Point{25.20, 55.27}},
+	{"ruh", "Riyadh", "SA", Point{24.71, 46.68}},
+	{"tlv", "Tel Aviv", "IL", Point{32.09, 34.78}},
+	{"ist", "Istanbul", "TR", Point{41.01, 28.98}},
+	{"amm", "Amman", "JO", Point{31.95, 35.93}},
+	// Asia
+	{"bom", "Mumbai", "IN", Point{19.08, 72.88}},
+	{"del", "Delhi", "IN", Point{28.70, 77.10}},
+	{"maa", "Chennai", "IN", Point{13.08, 80.27}},
+	{"blr", "Bangalore", "IN", Point{12.97, 77.59}},
+	{"sin", "Singapore", "SG", Point{1.35, 103.82}},
+	{"kul", "Kuala Lumpur", "MY", Point{3.14, 101.69}},
+	{"cgk", "Jakarta", "ID", Point{-6.21, 106.85}},
+	{"sub", "Surabaya", "ID", Point{-7.26, 112.75}},
+	{"bkk", "Bangkok", "TH", Point{13.76, 100.50}},
+	{"han", "Hanoi", "VN", Point{21.03, 105.85}},
+	{"sgn", "Ho Chi Minh City", "VN", Point{10.82, 106.63}},
+	{"mnl", "Manila", "PH", Point{14.60, 120.98}},
+	{"hkg", "Hong Kong", "HK", Point{22.32, 114.17}},
+	{"tpe", "Taipei", "TW", Point{25.03, 121.57}},
+	{"icn", "Seoul", "KR", Point{37.57, 126.98}},
+	{"nrt", "Tokyo", "JP", Point{35.68, 139.69}},
+	{"kix", "Osaka", "JP", Point{34.69, 135.50}},
+	{"pek", "Beijing", "CN", Point{39.90, 116.41}},
+	{"pvg", "Shanghai", "CN", Point{31.23, 121.47}},
+	{"dac", "Dhaka", "BD", Point{23.81, 90.41}},
+	{"khi", "Karachi", "PK", Point{24.86, 67.01}},
+	{"cmb", "Colombo", "LK", Point{6.93, 79.86}},
+	{"ktm", "Kathmandu", "NP", Point{27.72, 85.32}},
+	{"uln", "Ulaanbaatar", "MN", Point{47.89, 106.91}},
+	// Oceania
+	{"syd", "Sydney", "AU", Point{-33.87, 151.21}},
+	{"mel", "Melbourne", "AU", Point{-37.81, 144.96}},
+	{"per", "Perth", "AU", Point{-31.95, 115.86}},
+	{"akl", "Auckland", "NZ", Point{-36.85, 174.76}},
+	{"wlg", "Wellington", "NZ", Point{-41.29, 174.78}},
+	{"chc", "Christchurch", "NZ", Point{-43.53, 172.64}},
+	// Extreme / Figure 1c call-outs
+	{"goh", "Nuuk", "GL", Point{64.18, -51.69}},
+	{"rkv", "Reykjavik", "IS", Point{64.15, -21.94}},
+	{"svo", "Moscow", "RU", Point{55.76, 37.62}},
+	{"led", "St Petersburg", "RU", Point{59.93, 30.34}},
+}
+
+// MetroByCode returns the metro with the given code, or false when unknown.
+func MetroByCode(code string) (Metro, bool) {
+	for _, m := range Metros {
+		if m.Code == code {
+			return m, true
+		}
+	}
+	return Metro{}, false
+}
+
+// Countries returns the sorted-unique set of country codes present in the
+// metro catalogue.
+func Countries() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range Metros {
+		if !seen[m.Country] {
+			seen[m.Country] = true
+			out = append(out, m.Country)
+		}
+	}
+	return out
+}
+
+// MetrosIn returns all metros in the given country, in catalogue order.
+func MetrosIn(country string) []Metro {
+	var out []Metro
+	for _, m := range Metros {
+		if m.Country == country {
+			out = append(out, m)
+		}
+	}
+	return out
+}

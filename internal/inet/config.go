@@ -1,0 +1,96 @@
+package inet
+
+// Config controls synthetic Internet generation. The defaults produce a
+// world sized for laptop-scale experiments while keeping the structural
+// ratios the paper measures (thousands of access ISPs, tens of IXPs, a
+// handful of backbones).
+type Config struct {
+	// Seed drives every random draw; equal seeds produce identical worlds.
+	Seed int64
+	// AccessISPs is the number of eyeball networks to generate. The paper
+	// works with 5516 offnet-hosting ISPs; tests use much smaller worlds.
+	AccessISPs int
+	// TransitISPs is the number of regional transit providers.
+	TransitISPs int
+	// Backbones is the number of global transit-free carriers.
+	Backbones int
+	// IXPs is the number of exchange points, placed in the largest metros.
+	IXPs int
+	// TotalUsers is the world Internet-user population distributed across
+	// access ISPs with a Zipf profile (APNIC-style).
+	TotalUsers float64
+	// ZipfExponent shapes the user-population distribution.
+	ZipfExponent float64
+	// UsersPerSlash24 controls how much address space an ISP announces
+	// relative to its user base.
+	UsersPerSlash24 float64
+}
+
+// DefaultConfig returns the world used by the command-line tools: large
+// enough for stable statistics, small enough to run in seconds.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		AccessISPs:      900,
+		TransitISPs:     48,
+		Backbones:       8,
+		IXPs:            36,
+		TotalUsers:      3.0e9,
+		ZipfExponent:    1.05,
+		UsersPerSlash24: 8000,
+	}
+}
+
+// LargeConfig returns a world sized closer to the paper's datasets (still
+// laptop-feasible: the colocation pipeline takes on the order of a minute).
+func LargeConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		AccessISPs:      2400,
+		TransitISPs:     96,
+		Backbones:       10,
+		IXPs:            60,
+		TotalUsers:      4.2e9,
+		ZipfExponent:    1.05,
+		UsersPerSlash24: 8000,
+	}
+}
+
+// TinyConfig returns a miniature world for unit tests.
+func TinyConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		AccessISPs:      60,
+		TransitISPs:     10,
+		Backbones:       3,
+		IXPs:            8,
+		TotalUsers:      2.0e8,
+		ZipfExponent:    1.0,
+		UsersPerSlash24: 8000,
+	}
+}
+
+func (c Config) sanitized() Config {
+	if c.AccessISPs <= 0 {
+		c.AccessISPs = 60
+	}
+	if c.TransitISPs <= 0 {
+		c.TransitISPs = 8
+	}
+	if c.Backbones <= 0 {
+		c.Backbones = 3
+	}
+	if c.IXPs <= 0 {
+		c.IXPs = 4
+	}
+	if c.TotalUsers <= 0 {
+		c.TotalUsers = 1e8
+	}
+	if c.ZipfExponent <= 0 {
+		c.ZipfExponent = 1.0
+	}
+	if c.UsersPerSlash24 <= 0 {
+		c.UsersPerSlash24 = 8000
+	}
+	return c
+}

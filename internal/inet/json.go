@@ -1,0 +1,234 @@
+package inet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"offnetrisk/internal/geo"
+	"offnetrisk/internal/netaddr"
+)
+
+// Snapshot is the JSON-serializable form of a World. It captures everything
+// analyses need (ISPs, facilities, exchanges, announcements); allocation
+// pool state is reconstructed on load so a restored world can keep
+// allocating addresses without colliding with existing assignments.
+type Snapshot struct {
+	Seed       int64              `json:"seed"`
+	ISPs       []ispSnapshot      `json:"isps"`
+	Facilities []facilitySnapshot `json:"facilities"`
+	IXPs       []ixpSnapshot      `json:"ixps"`
+	// HostNext preserves per-AS host allocation cursors.
+	HostNext map[uint32]uint64 `json:"host_next,omitempty"`
+}
+
+type ispSnapshot struct {
+	ASN       uint32   `json:"asn"`
+	Name      string   `json:"name"`
+	Country   string   `json:"country"`
+	Tier      int      `json:"tier"`
+	Users     float64  `json:"users,omitempty"`
+	Metros    []string `json:"metros,omitempty"`
+	Prefixes  []string `json:"prefixes,omitempty"`
+	Providers []uint32 `json:"providers,omitempty"`
+	IXPs      []int    `json:"ixps,omitempty"`
+	Facs      []int    `json:"facilities,omitempty"`
+}
+
+type facilitySnapshot struct {
+	ID    int     `json:"id"`
+	Owner uint32  `json:"owner"`
+	Metro string  `json:"metro"`
+	Lat   float64 `json:"lat"`
+	Lon   float64 `json:"lon"`
+	Racks int     `json:"racks"`
+}
+
+type ixpSnapshot struct {
+	ID       int               `json:"id"`
+	Name     string            `json:"name"`
+	Metro    string            `json:"metro"`
+	Fabric   string            `json:"fabric"`
+	Capacity float64           `json:"capacity_gbps"`
+	Members  map[uint32]string `json:"members"`
+}
+
+// Snapshot captures the world for serialization.
+func (w *World) Snapshot() *Snapshot {
+	s := &Snapshot{Seed: w.Seed, HostNext: make(map[uint32]uint64)}
+	for as, n := range w.hostNext {
+		if n > 0 {
+			s.HostNext[uint32(as)] = n
+		}
+	}
+	for _, isp := range w.ISPList() {
+		is := ispSnapshot{
+			ASN: uint32(isp.ASN), Name: isp.Name, Country: isp.Country,
+			Tier: int(isp.Tier), Users: isp.Users,
+		}
+		for _, m := range isp.Metros {
+			is.Metros = append(is.Metros, m.Code)
+		}
+		for _, p := range isp.Prefixes {
+			is.Prefixes = append(is.Prefixes, p.String())
+		}
+		for _, p := range isp.Providers {
+			is.Providers = append(is.Providers, uint32(p))
+		}
+		for _, x := range isp.IXPs {
+			is.IXPs = append(is.IXPs, int(x))
+		}
+		for _, f := range isp.Facilities {
+			is.Facs = append(is.Facs, int(f))
+		}
+		s.ISPs = append(s.ISPs, is)
+	}
+	for _, f := range w.FacilityList() {
+		s.Facilities = append(s.Facilities, facilitySnapshot{
+			ID: int(f.ID), Owner: uint32(f.Owner), Metro: f.Metro.Code,
+			Lat: f.Loc.LatDeg, Lon: f.Loc.LonDeg, Racks: f.Racks,
+		})
+	}
+	for _, x := range w.IXPList() {
+		xs := ixpSnapshot{
+			ID: int(x.ID), Name: x.Name, Metro: x.Metro.Code,
+			Fabric: x.Fabric.String(), Capacity: x.CapacityGbps,
+			Members: make(map[uint32]string, len(x.MemberAddr)),
+		}
+		for as, addr := range x.MemberAddr {
+			xs.Members[uint32(as)] = addr.String()
+		}
+		s.IXPs = append(s.IXPs, xs)
+	}
+	return s
+}
+
+// MarshalJSON encodes the world as its snapshot.
+func (w *World) MarshalJSON() ([]byte, error) {
+	return json.Marshal(w.Snapshot())
+}
+
+// Restore rebuilds a World from a snapshot. Pool cursors advance past every
+// announced prefix so further allocations never collide.
+func Restore(s *Snapshot) (*World, error) {
+	w := &World{
+		Seed:        s.Seed,
+		ISPs:        make(map[ASN]*ISP, len(s.ISPs)),
+		Facilities:  make(map[FacilityID]*Facility, len(s.Facilities)),
+		IXPs:        make(map[IXPID]*IXP, len(s.IXPs)),
+		PrefixOwner: make(map[netaddr.Prefix]ASN),
+		hostNext:    make(map[ASN]uint64, len(s.HostNext)),
+	}
+	for as, n := range s.HostNext {
+		w.hostNext[ASN(as)] = n
+	}
+
+	metro := func(code string) (geo.Metro, error) {
+		m, ok := geo.MetroByCode(code)
+		if !ok {
+			return geo.Metro{}, fmt.Errorf("inet: unknown metro %q", code)
+		}
+		return m, nil
+	}
+
+	var maxISP, maxContent, maxIXP netaddr.Addr
+	for _, is := range s.ISPs {
+		isp := &ISP{
+			ASN: ASN(is.ASN), Name: is.Name, Country: is.Country,
+			Tier: Tier(is.Tier), Users: is.Users,
+		}
+		for _, code := range is.Metros {
+			m, err := metro(code)
+			if err != nil {
+				return nil, err
+			}
+			isp.Metros = append(isp.Metros, m)
+		}
+		for _, ps := range is.Prefixes {
+			p, err := netaddr.ParsePrefix(ps)
+			if err != nil {
+				return nil, fmt.Errorf("inet: ISP %s: %w", is.Name, err)
+			}
+			isp.Prefixes = append(isp.Prefixes, p)
+			for _, s24 := range p.Slash24s() {
+				w.PrefixOwner[s24] = isp.ASN
+			}
+			if isp.Tier == TierContent {
+				if p.Last() > maxContent {
+					maxContent = p.Last()
+				}
+			} else if p.Last() > maxISP {
+				maxISP = p.Last()
+			}
+		}
+		for _, p := range is.Providers {
+			isp.Providers = append(isp.Providers, ASN(p))
+		}
+		for _, x := range is.IXPs {
+			isp.IXPs = append(isp.IXPs, IXPID(x))
+		}
+		for _, f := range is.Facs {
+			isp.Facilities = append(isp.Facilities, FacilityID(f))
+		}
+		w.ISPs[isp.ASN] = isp
+	}
+	for _, fs := range s.Facilities {
+		m, err := metro(fs.Metro)
+		if err != nil {
+			return nil, err
+		}
+		w.Facilities[FacilityID(fs.ID)] = &Facility{
+			ID: FacilityID(fs.ID), Owner: ASN(fs.Owner), Metro: m,
+			Loc: geo.Point{LatDeg: fs.Lat, LonDeg: fs.Lon}, Racks: fs.Racks,
+		}
+	}
+	for _, xs := range s.IXPs {
+		m, err := metro(xs.Metro)
+		if err != nil {
+			return nil, err
+		}
+		fabric, err := netaddr.ParsePrefix(xs.Fabric)
+		if err != nil {
+			return nil, fmt.Errorf("inet: IXP %s: %w", xs.Name, err)
+		}
+		x := &IXP{
+			ID: IXPID(xs.ID), Name: xs.Name, Metro: m, Fabric: fabric,
+			CapacityGbps: xs.Capacity,
+			MemberAddr:   make(map[ASN]netaddr.Addr, len(xs.Members)),
+		}
+		for as, addrStr := range xs.Members {
+			addr, err := netaddr.ParseAddr(addrStr)
+			if err != nil {
+				return nil, fmt.Errorf("inet: IXP %s member: %w", xs.Name, err)
+			}
+			x.MemberAddr[ASN(as)] = addr
+		}
+		if fabric.Last() > maxIXP {
+			maxIXP = fabric.Last()
+		}
+		w.IXPs[x.ID] = x
+	}
+
+	// Reconstruct allocation pools past everything in use.
+	w.ispPool = restoredPool("16.0.0.0/4", maxISP)
+	w.contentPool = restoredPool("8.0.0.0/9", maxContent)
+	w.ixpPool = restoredPool("198.32.0.0/13", maxIXP)
+	return w, nil
+}
+
+// restoredPool returns a pool over base whose cursor is past lastUsed.
+func restoredPool(base string, lastUsed netaddr.Addr) *netaddr.Pool {
+	pool := netaddr.NewPool(netaddr.MustPrefix(base))
+	if lastUsed != 0 {
+		pool.AdvancePast(lastUsed)
+	}
+	return pool
+}
+
+// RestoreJSON decodes a snapshot produced by MarshalJSON.
+func RestoreJSON(data []byte) (*World, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("inet: decode snapshot: %w", err)
+	}
+	return Restore(&s)
+}

@@ -1,0 +1,136 @@
+package inet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	w := Generate(TinyConfig(1))
+	// Exercise post-generation state: a content AS and some host
+	// allocations must survive the round trip.
+	if _, err := w.AddContentAS("hg-test", nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	isp := w.AccessISPs()[0]
+	var lastHost string
+	for i := 0; i < 5; i++ {
+		a, err := w.AllocHostIn(isp.ASN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastHost = a.String()
+	}
+
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(r.ISPs) != len(w.ISPs) || len(r.Facilities) != len(w.Facilities) || len(r.IXPs) != len(w.IXPs) {
+		t.Fatalf("sizes differ: %d/%d/%d vs %d/%d/%d",
+			len(r.ISPs), len(r.Facilities), len(r.IXPs),
+			len(w.ISPs), len(w.Facilities), len(w.IXPs))
+	}
+	for as, orig := range w.ISPs {
+		got, ok := r.ISPs[as]
+		if !ok {
+			t.Fatalf("AS%d missing after restore", as)
+		}
+		if got.Name != orig.Name || got.Users != orig.Users || got.Tier != orig.Tier ||
+			len(got.Prefixes) != len(orig.Prefixes) || len(got.Providers) != len(orig.Providers) {
+			t.Fatalf("AS%d differs after restore", as)
+		}
+	}
+	// Prefix ownership mapping fully rebuilt.
+	if len(r.PrefixOwner) != len(w.PrefixOwner) {
+		t.Fatalf("prefix owners: %d vs %d", len(r.PrefixOwner), len(w.PrefixOwner))
+	}
+	// Fabric addresses intact.
+	for id, x := range w.IXPs {
+		rx := r.IXPs[id]
+		if rx == nil || len(rx.MemberAddr) != len(x.MemberAddr) {
+			t.Fatalf("IXP %d members differ", id)
+		}
+		for as, addr := range x.MemberAddr {
+			if rx.MemberAddr[as] != addr {
+				t.Fatalf("IXP %d member AS%d addr differs", id, as)
+			}
+		}
+	}
+	_ = lastHost
+}
+
+func TestRestoredWorldKeepsAllocating(t *testing.T) {
+	w := Generate(TinyConfig(2))
+	isp := w.AccessISPs()[0]
+	var used []string
+	for i := 0; i < 10; i++ {
+		a, err := w.AllocHostIn(isp.ASN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used = append(used, a.String())
+	}
+
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Continued host allocation must not collide with pre-snapshot hosts.
+	next, err := r.AllocHostIn(isp.ASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range used {
+		if u == next.String() {
+			t.Fatalf("restored world reissued %s", u)
+		}
+	}
+	// Content pool cursor must be reconstructed: a new content AS gets
+	// prefixes disjoint from existing ones.
+	if _, err := w.AddContentAS("hg-a", nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := json.Marshal(w)
+	r2, err := RestoreJSON(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as2, err := r2.AddContentAS("hg-b", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPfx := r2.ISPs[as2].Prefixes[0]
+	for _, isp := range r2.ISPList() {
+		if isp.ASN == as2 {
+			continue
+		}
+		for _, p := range isp.Prefixes {
+			if p.Overlaps(newPfx) {
+				t.Fatalf("restored content allocation %s overlaps %s of %s", newPfx, p, isp.Name)
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	if _, err := RestoreJSON([]byte("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := RestoreJSON([]byte(`{"isps":[{"asn":1,"name":"x","metros":["zzz"]}]}`)); err == nil {
+		t.Error("unknown metro accepted")
+	}
+	if _, err := RestoreJSON([]byte(`{"isps":[{"asn":1,"name":"x","prefixes":["bad/99"]}]}`)); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}

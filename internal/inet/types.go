@@ -1,0 +1,246 @@
+// Package inet builds the synthetic Internet all experiments run against:
+// countries with Internet-user populations, access and transit ISPs (ASes),
+// colocation facilities in metros, IXPs with shared fabrics, a valley-free
+// transit hierarchy, and IPv4 address assignments.
+//
+// It substitutes for the gated datasets the paper measures over (the routed
+// IPv4 space Censys scans, the APNIC per-ISP user populations, PeeringDB /
+// Euro-IX registries) while preserving the structural properties those
+// pipelines depend on: ISPs announce prefixes, host facilities near their
+// interconnection points, join IXPs, and buy transit from providers.
+package inet
+
+import (
+	"fmt"
+	"sort"
+
+	"offnetrisk/internal/geo"
+	"offnetrisk/internal/netaddr"
+)
+
+// ASN identifies an autonomous system.
+type ASN uint32
+
+// Tier classifies an AS's role in the transit hierarchy.
+type Tier int
+
+// Tiers, from the top of the hierarchy down.
+const (
+	TierBackbone Tier = iota // global transit-free carriers
+	TierTransit              // regional transit providers
+	TierAccess               // eyeball / access ISPs
+	TierContent              // content providers (hypergiant onnet ASes)
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierBackbone:
+		return "backbone"
+	case TierTransit:
+		return "transit"
+	case TierAccess:
+		return "access"
+	case TierContent:
+		return "content"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// FacilityID identifies a colocation facility.
+type FacilityID int
+
+// IXPID identifies an Internet exchange point.
+type IXPID int
+
+// Facility is a physical building in which an ISP hosts infrastructure —
+// including, centrally for this paper, offnet servers from hypergiants.
+type Facility struct {
+	ID    FacilityID
+	Owner ASN // hosting ISP
+	Metro geo.Metro
+	// Loc is the exact facility location; facilities of the same ISP in the
+	// same metro are separated by a few km so latency clustering has real
+	// work to do ("differentiating between multiple facilities in a city").
+	Loc geo.Point
+	// Racks is the number of rack positions available to third-party
+	// (hypergiant) equipment.
+	Racks int
+}
+
+// Name returns a stable human-readable facility name.
+func (f *Facility) Name() string {
+	return fmt.Sprintf("fac%d-as%d-%s", f.ID, f.Owner, f.Metro.Code)
+}
+
+// IXP is an Internet exchange point with a shared layer-2 fabric. Members get
+// one address each on the fabric prefix; the paper's traceroute methodology
+// maps those addresses back to members via Euro-IX/PeeringDB-style data.
+type IXP struct {
+	ID     IXPID
+	Name   string
+	Metro  geo.Metro
+	Fabric netaddr.Prefix
+	// MemberAddr maps each member AS to its fabric address.
+	MemberAddr map[ASN]netaddr.Addr
+	// CapacityGbps is the usable switching capacity of the fabric; §4.3
+	// argues IXPs lack headroom for hypergiant spillover.
+	CapacityGbps float64
+}
+
+// Members returns the member ASNs in ascending order.
+func (x *IXP) Members() []ASN {
+	out := make([]ASN, 0, len(x.MemberAddr))
+	for as := range x.MemberAddr {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ISP is an autonomous system: an access network, a transit provider, or a
+// backbone carrier.
+type ISP struct {
+	ASN     ASN
+	Name    string
+	Country string
+	Tier    Tier
+	// Users is the estimated Internet-user population (APNIC-style).
+	Users float64
+	// Metros this ISP operates in; access ISPs concentrate in one country.
+	Metros []geo.Metro
+	// Facilities owned by this ISP (indices into World.Facilities).
+	Facilities []FacilityID
+	// Prefixes announced to the global Internet.
+	Prefixes []netaddr.Prefix
+	// Providers are the ASes this ISP buys transit from.
+	Providers []ASN
+	// IXPs this ISP is a member of.
+	IXPs []IXPID
+}
+
+// IsAccess reports whether the ISP is an eyeball/access network.
+func (i *ISP) IsAccess() bool { return i.Tier == TierAccess }
+
+// World is the complete synthetic Internet.
+type World struct {
+	Seed       int64
+	ISPs       map[ASN]*ISP
+	Facilities map[FacilityID]*Facility
+	IXPs       map[IXPID]*IXP
+	// PrefixOwner maps every announced prefix to its origin AS, the
+	// "IP-to-ISP mapping" role PeeringDB/Euro-IX + routing data play in the
+	// paper's traceroute methodology.
+	PrefixOwner map[netaddr.Prefix]ASN
+
+	// Allocation state, used after generation to place content (hypergiant)
+	// ASes and to carve server addresses out of ISP space.
+	ispPool     *netaddr.Pool
+	contentPool *netaddr.Pool
+	ixpPool     *netaddr.Pool
+	hostNext    map[ASN]uint64
+}
+
+// ISPList returns all ISPs ordered by ASN for deterministic iteration.
+func (w *World) ISPList() []*ISP {
+	out := make([]*ISP, 0, len(w.ISPs))
+	for _, isp := range w.ISPs {
+		out = append(out, isp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// AccessISPs returns the access ISPs ordered by ASN.
+func (w *World) AccessISPs() []*ISP {
+	var out []*ISP
+	for _, isp := range w.ISPList() {
+		if isp.IsAccess() {
+			out = append(out, isp)
+		}
+	}
+	return out
+}
+
+// FacilityList returns all facilities ordered by ID.
+func (w *World) FacilityList() []*Facility {
+	out := make([]*Facility, 0, len(w.Facilities))
+	for _, f := range w.Facilities {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IXPList returns all IXPs ordered by ID.
+func (w *World) IXPList() []*IXP {
+	out := make([]*IXP, 0, len(w.IXPs))
+	for _, x := range w.IXPs {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OwnerOf returns the AS announcing the /24 containing addr, or false when
+// the address is unrouted. IXP fabric addresses belong to no AS (they are
+// deliberately absent, as in the real Internet where fabric space is not
+// globally announced) and resolve via IXPOf instead.
+func (w *World) OwnerOf(addr netaddr.Addr) (ASN, bool) {
+	as, ok := w.PrefixOwner[addr.Slash24()]
+	return as, ok
+}
+
+// IXPOf returns the IXP whose fabric contains addr, and the member AS using
+// that fabric address, if any.
+func (w *World) IXPOf(addr netaddr.Addr) (*IXP, ASN, bool) {
+	for _, x := range w.IXPList() {
+		if !x.Fabric.Contains(addr) {
+			continue
+		}
+		for as, a := range x.MemberAddr {
+			if a == addr {
+				return x, as, true
+			}
+		}
+		return x, 0, false
+	}
+	return nil, 0, false
+}
+
+// UsersInISPs sums the user population of the given set of ASNs.
+func (w *World) UsersInISPs(set map[ASN]bool) float64 {
+	var total float64
+	for as, in := range set {
+		if !in {
+			continue
+		}
+		if isp, ok := w.ISPs[as]; ok {
+			total += isp.Users
+		}
+	}
+	return total
+}
+
+// TotalUsers sums the user population across all access ISPs.
+func (w *World) TotalUsers() float64 {
+	var total float64
+	for _, isp := range w.ISPs {
+		if isp.IsAccess() {
+			total += isp.Users
+		}
+	}
+	return total
+}
+
+// CountryUsers returns the total access-ISP user population per country.
+func (w *World) CountryUsers() map[string]float64 {
+	out := make(map[string]float64)
+	for _, isp := range w.ISPs {
+		if isp.IsAccess() {
+			out[isp.Country] += isp.Users
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseAddr checks that the parser never panics and that everything it
+// accepts round-trips.
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{"0.0.0.0", "255.255.255.255", "10.1.2.3", "", "1.2.3", "a.b.c.d", "999.1.1.1", "1.2.3.4.5", "-1.2.3.4"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		b, err := ParseAddr(a.String())
+		if err != nil {
+			t.Fatalf("accepted %q → %s which fails to re-parse: %v", s, a, err)
+		}
+		if b != a {
+			t.Fatalf("round trip %q: %s != %s", s, a, b)
+		}
+	})
+}
+
+// FuzzParsePrefix checks prefix parsing invariants: no panics, accepted
+// prefixes are canonical and contain their own bounds.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{"10.0.0.0/8", "0.0.0.0/0", "255.255.255.255/32", "10.1.2.3/24", "10.0.0.0/33", "x/8", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Canonical() != p {
+			t.Fatalf("accepted %q not canonical: %s", s, p)
+		}
+		if !p.Contains(p.First()) || !p.Contains(p.Last()) {
+			t.Fatalf("%s does not contain its own bounds", p)
+		}
+		if p.NumAddrs() == 0 {
+			t.Fatalf("%s has zero addresses", p)
+		}
+	})
+}

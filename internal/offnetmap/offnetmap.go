@@ -1,0 +1,238 @@
+// Package offnetmap implements the offnet-discovery methodology of §2.2: it
+// classifies TLS scan records as offnet servers of Google, Netflix, Meta, or
+// Akamai when an address announced by a non-hypergiant AS presents a
+// hypergiant certificate.
+//
+// Two rule sets are provided. Rules2021 reproduces the original (Gigis et
+// al. 2021) methodology: ownership by the Organization entry of the Subject
+// Name, plus names exactly matching hypergiant onnet domains. Rules2023
+// reproduces this paper's updates: Google dropped the Organization entry, so
+// the CN is matched against *.googlevideo.com (with an issuer check); Meta
+// moved to per-site names, so the *.fbcdn.net pattern is matched instead of
+// exact onnet names.
+package offnetmap
+
+import (
+	"sort"
+
+	"offnetrisk/internal/cert"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/scan"
+	"offnetrisk/internal/traffic"
+)
+
+// Rule decides whether a certificate belongs to a hypergiant.
+type Rule struct {
+	HG traffic.HG
+	// Orgs: certificate Subject Organization entries owned by the
+	// hypergiant. Empty disables the organization check.
+	Orgs []string
+	// ExactNames: names that must match a certificate name exactly (the
+	// 2021 "names observed on onnet servers" check).
+	ExactNames []string
+	// Patterns: wildcard name patterns (the 2023 updates).
+	Patterns []string
+	// RequireIssuer, when non-empty, additionally requires the issuer
+	// organization to match one of these ("passes the other checks from the
+	// 2021 methodology").
+	RequireIssuer []string
+}
+
+// Matches reports whether the certificate satisfies the rule.
+func (r Rule) Matches(c cert.Certificate) bool {
+	matched := false
+	for _, org := range r.Orgs {
+		if c.SubjectOrg == org {
+			matched = true
+		}
+	}
+	if !matched {
+		for _, n := range c.Names() {
+			for _, e := range r.ExactNames {
+				if n == e {
+					matched = true
+				}
+			}
+		}
+	}
+	if !matched && len(r.Patterns) > 0 && c.AnyNameMatches(r.Patterns) {
+		matched = true
+	}
+	if !matched {
+		return false
+	}
+	if len(r.RequireIssuer) > 0 {
+		ok := false
+		for _, iss := range r.RequireIssuer {
+			if c.Issuer == iss {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Rules2021 returns the original methodology's fingerprints.
+func Rules2021() []Rule {
+	return []Rule{
+		{
+			HG:         traffic.Google,
+			Orgs:       []string{"Google LLC"},
+			ExactNames: []string{"www.google.com", "youtube.com", "ggc.google.com"},
+		},
+		{
+			HG:         traffic.Netflix,
+			Orgs:       []string{"Netflix, Inc."},
+			ExactNames: []string{"*.nflxvideo.net"},
+		},
+		{
+			HG:         traffic.Meta,
+			Orgs:       []string{"Facebook, Inc."},
+			ExactNames: []string{"*.fbcdn.net", "*.facebook.com"},
+		},
+		{
+			HG:         traffic.Akamai,
+			Orgs:       []string{"Akamai Technologies, Inc."},
+			ExactNames: []string{"a248.e.akamai.net"},
+		},
+	}
+}
+
+// Rules2023 returns the updated methodology: "For Google, instead of
+// inspecting the Organization subfield ... we use the CN field [matching]
+// *.googlevideo.com"; for Meta "we check for the pattern *.fbcdn.net".
+func Rules2023() []Rule {
+	rules := Rules2021()
+	for i := range rules {
+		switch rules[i].HG {
+		case traffic.Google:
+			rules[i] = Rule{
+				HG:            traffic.Google,
+				Patterns:      []string{"*.googlevideo.com"},
+				RequireIssuer: []string{"Google Trust Services LLC"},
+			}
+		case traffic.Meta:
+			rules[i] = Rule{
+				HG:       traffic.Meta,
+				Orgs:     []string{"Facebook, Inc.", "Meta Platforms, Inc."},
+				Patterns: []string{"*.fbcdn.net"},
+			}
+		}
+	}
+	return rules
+}
+
+// Offnet is one inferred offnet server.
+type Offnet struct {
+	Addr netaddr.Addr
+	HG   traffic.HG
+	ISP  inet.ASN
+}
+
+// Result is the outcome of running the methodology over a scan.
+type Result struct {
+	Offnets []Offnet
+	// ISPs maps each hypergiant to the set of ASes hosting its offnets —
+	// the quantity Table 1 counts.
+	ISPs map[traffic.HG]map[inet.ASN]bool
+}
+
+// ISPCount returns the number of ISPs hosting the hypergiant's offnets.
+func (res *Result) ISPCount(hg traffic.HG) int { return len(res.ISPs[hg]) }
+
+// HostingISPs returns every AS hosting at least one inferred offnet,
+// ascending.
+func (res *Result) HostingISPs() []inet.ASN {
+	set := make(map[inet.ASN]bool)
+	for _, m := range res.ISPs {
+		for as := range m {
+			set[as] = true
+		}
+	}
+	out := make([]inet.ASN, 0, len(set))
+	for as := range set {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddrsOf returns the inferred offnet addresses of the hypergiant, ascending.
+func (res *Result) AddrsOf(hg traffic.HG) []netaddr.Addr {
+	var out []netaddr.Addr
+	for _, o := range res.Offnets {
+		if o.HG == hg {
+			out = append(out, o.Addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Infer runs the methodology: for each scan record, if the certificate
+// matches a hypergiant rule and the address is announced by an AS other than
+// a hypergiant's own, the address is an offnet of that hypergiant hosted in
+// that AS. Unrouted addresses are skipped (the real pipeline requires an
+// IP-to-AS mapping hit).
+func Infer(w *inet.World, records []scan.Record, rules []Rule) *Result {
+	res := &Result{ISPs: make(map[traffic.HG]map[inet.ASN]bool)}
+	for _, rule := range rules {
+		if res.ISPs[rule.HG] == nil {
+			res.ISPs[rule.HG] = make(map[inet.ASN]bool)
+		}
+	}
+	for _, rec := range records {
+		as, ok := w.OwnerOf(rec.Addr)
+		if !ok {
+			continue
+		}
+		owner, ok := w.ISPs[as]
+		if !ok || owner.Tier == inet.TierContent {
+			// Hypergiant-announced space: onnet, not offnet.
+			continue
+		}
+		for _, rule := range rules {
+			if !rule.Matches(rec.Cert) {
+				continue
+			}
+			res.Offnets = append(res.Offnets, Offnet{Addr: rec.Addr, HG: rule.HG, ISP: as})
+			res.ISPs[rule.HG][as] = true
+			break
+		}
+	}
+	return res
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	HG       traffic.HG
+	ISPs2021 int
+	ISPs2023 int
+}
+
+// GrowthPct returns the 2021→2023 growth in percent (Table 1 annotates
+// +23.2% etc.).
+func (r Table1Row) GrowthPct() float64 {
+	if r.ISPs2021 == 0 {
+		return 0
+	}
+	return (float64(r.ISPs2023)/float64(r.ISPs2021) - 1) * 100
+}
+
+// Table1 assembles the table from the two epochs' inference results, in the
+// paper's row order.
+func Table1(res2021, res2023 *Result) []Table1Row {
+	rows := make([]Table1Row, 0, len(traffic.All))
+	for _, hg := range traffic.All {
+		rows = append(rows, Table1Row{
+			HG:       hg,
+			ISPs2021: res2021.ISPCount(hg),
+			ISPs2023: res2023.ISPCount(hg),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,25 @@
+package optics_test
+
+import (
+	"fmt"
+	"math"
+
+	"offnetrisk/internal/optics"
+)
+
+// Example demonstrates OPTICS over two dense 1-D groups and an outlier:
+// the ξ extraction finds the groups and leaves the outlier unclustered.
+func Example() {
+	points := []float64{0.0, 0.1, 0.2, 50.0, 100.0, 100.1, 100.2}
+	dist := func(i, j int) float64 { return math.Abs(points[i] - points[j]) }
+
+	labels := optics.ClusterXi(len(points), dist, 2, 0.1)
+	fmt.Println("labels:", labels)
+
+	res := optics.Run(len(points), dist, 2, math.Inf(1))
+	clusters := res.ExtractXi(0.1, 2)
+	fmt.Println("clusters found:", len(res.Labels(clusters)) > 0)
+	// Output:
+	// labels: [0 0 0 -1 1 1 1]
+	// clusters found: true
+}

@@ -1,0 +1,267 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"offnetrisk/internal/rngutil"
+)
+
+// pointsDist builds a DistFunc over 1-D coordinates.
+func pointsDist(xs []float64) DistFunc {
+	return func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) }
+}
+
+func TestRunOrdersAllPoints(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 10, 10.1, 10.2, 50}
+	res := Run(len(xs), pointsDist(xs), 2, math.Inf(1))
+	if len(res.Order) != len(xs) || len(res.Reach) != len(xs) {
+		t.Fatalf("ordering covers %d of %d points", len(res.Order), len(xs))
+	}
+	seen := make(map[int]bool)
+	for _, p := range res.Order {
+		if seen[p] {
+			t.Fatalf("point %d ordered twice", p)
+		}
+		seen[p] = true
+	}
+	if !math.IsInf(res.Reach[0], 1) {
+		t.Error("first point must have undefined (+Inf) reachability")
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	res := Run(0, nil, 2, 0)
+	if len(res.Order) != 0 {
+		t.Error("empty input should produce empty ordering")
+	}
+	res = Run(1, pointsDist([]float64{5}), 2, math.Inf(1))
+	if len(res.Order) != 1 || !math.IsInf(res.Core[0], 1) {
+		t.Error("single point: ordered once, not core")
+	}
+	if got := res.Labels(res.ExtractXi(0.1, 2)); got[0] != -1 {
+		t.Error("single point must be noise")
+	}
+}
+
+func TestCoreDistanceMinPts2(t *testing.T) {
+	xs := []float64{0, 1, 3}
+	res := Run(3, pointsDist(xs), 2, math.Inf(1))
+	// minPts=2 → core distance = distance to nearest other point.
+	want := []float64{1, 1, 2}
+	for i, w := range want {
+		if math.Abs(res.Core[i]-w) > 1e-12 {
+			t.Errorf("Core[%d] = %v, want %v", i, res.Core[i], w)
+		}
+	}
+}
+
+func TestTwoTightGroups(t *testing.T) {
+	// Two well-separated dense groups: ξ=0.1 must find exactly two leaf
+	// clusters matching the groups.
+	xs := []float64{0, 0.1, 0.2, 0.15, 100, 100.1, 100.2}
+	labels := ClusterXi(len(xs), pointsDist(xs), 2, 0.1)
+	groupA := labels[0]
+	for i := 1; i <= 3; i++ {
+		if labels[i] != groupA {
+			t.Errorf("point %d not grouped with group A: labels=%v", i, labels)
+		}
+	}
+	groupB := labels[4]
+	for i := 5; i <= 6; i++ {
+		if labels[i] != groupB {
+			t.Errorf("point %d not grouped with group B: labels=%v", i, labels)
+		}
+	}
+	if groupA == groupB {
+		t.Errorf("groups merged: labels=%v", labels)
+	}
+	if groupA == -1 || groupB == -1 {
+		t.Errorf("dense groups marked noise: labels=%v", labels)
+	}
+}
+
+func TestIsolatedPointIsNoise(t *testing.T) {
+	// Two dense pairs plus one faraway singleton: the singleton must not be
+	// assigned to any cluster.
+	xs := []float64{0, 0.1, 500, 1000, 1000.1}
+	labels := ClusterXi(len(xs), pointsDist(xs), 2, 0.1)
+	if labels[2] != -1 {
+		t.Errorf("isolated point got label %d: labels=%v", labels[2], labels)
+	}
+	if labels[0] == -1 || labels[0] != labels[1] {
+		t.Errorf("pair A mislabelled: %v", labels)
+	}
+	if labels[3] == -1 || labels[3] != labels[4] {
+		t.Errorf("pair B mislabelled: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Errorf("distant pairs merged: %v", labels)
+	}
+}
+
+func TestXiSteepnessDirection(t *testing.T) {
+	// Moderately separated groups: a mild valley splits at ξ=0.1 but must
+	// NOT split at ξ=0.9 (which demands a 10× drop). This is the Table 2
+	// bounding behaviour.
+	var xs []float64
+	for i := 0; i < 6; i++ {
+		xs = append(xs, float64(i)*1.0) // group A: spacing 1
+	}
+	for i := 0; i < 6; i++ {
+		xs = append(xs, 30+float64(i)*1.0) // group B at distance 30 (ratio ~30/1... )
+	}
+	// Use a separation only ~4× the intra-group spacing for the mild case.
+	mild := make([]float64, len(xs))
+	copy(mild, xs)
+	for i := 6; i < 12; i++ {
+		mild[i] = 10 + float64(i-6)*2.0 // intra spacing 2, gap 10/2=5x
+	}
+
+	lo := ClusterXi(len(mild), pointsDist(mild), 2, 0.1)
+	hi := ClusterXi(len(mild), pointsDist(mild), 2, 0.9)
+
+	distinct := func(labels []int) int {
+		set := make(map[int]bool)
+		for _, l := range labels {
+			if l >= 0 {
+				set[l] = true
+			}
+		}
+		return len(set)
+	}
+	if distinct(lo) < 2 {
+		t.Errorf("ξ=0.1 should split the mild valley: labels=%v", lo)
+	}
+	if distinct(hi) > distinct(lo) {
+		t.Errorf("ξ=0.9 split more than ξ=0.1: hi=%v lo=%v", hi, lo)
+	}
+	// At ξ=0.9 the two mild groups merge into one cluster.
+	if hi[0] == -1 || hi[0] != hi[11] {
+		t.Errorf("ξ=0.9 should merge mild groups: labels=%v", hi)
+	}
+}
+
+func TestLabelsContiguityInvariant(t *testing.T) {
+	// Property: every cluster label occupies a contiguous span of the
+	// OPTICS ordering, and every cluster has ≥ minPts points.
+	f := func(seed int64) bool {
+		r := rngutil.New(seed)
+		var xs []float64
+		nGroups := r.Intn(4) + 1
+		for g := 0; g < nGroups; g++ {
+			center := float64(g) * (50 + r.Float64()*100)
+			for k := 0; k < r.Intn(6)+2; k++ {
+				xs = append(xs, center+r.Float64())
+			}
+		}
+		res := Run(len(xs), pointsDist(xs), 2, math.Inf(1))
+		labels := res.Labels(res.ExtractXi(0.1, 2))
+
+		counts := make(map[int]int)
+		for _, l := range labels {
+			if l >= 0 {
+				counts[l]++
+			}
+		}
+		for _, c := range counts {
+			if c < 2 {
+				return false
+			}
+		}
+		// Contiguity over ordering positions.
+		posLabels := make([]int, len(res.Order))
+		for pos, p := range res.Order {
+			posLabels[pos] = labels[p]
+		}
+		seenEnded := make(map[int]bool)
+		prev := -2
+		for _, l := range posLabels {
+			if l != prev {
+				if seenEnded[l] && l >= 0 {
+					return false // label resumed after ending: not contiguous
+				}
+				if prev >= 0 {
+					seenEnded[prev] = true
+				}
+				prev = l
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	r := rngutil.New(3)
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	a := Run(len(xs), pointsDist(xs), 2, math.Inf(1))
+	b := Run(len(xs), pointsDist(xs), 2, math.Inf(1))
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] || a.Reach[i] != b.Reach[i] {
+			t.Fatal("OPTICS not deterministic")
+		}
+	}
+}
+
+func TestReachabilityNeighborsLowWithinGroup(t *testing.T) {
+	// All intra-group reachability values must be far below the inter-group
+	// jump — the structural property ξ extraction depends on.
+	xs := []float64{0, 0.1, 0.2, 100, 100.1, 100.2}
+	res := Run(len(xs), pointsDist(xs), 2, math.Inf(1))
+	var jumps, smalls int
+	for i := 1; i < len(res.Reach); i++ {
+		if res.Reach[i] > 50 {
+			jumps++
+		} else if res.Reach[i] < 1 {
+			smalls++
+		}
+	}
+	if jumps != 1 {
+		t.Errorf("expected exactly 1 big jump, got %d (reach=%v)", jumps, res.Reach)
+	}
+	if smalls != 4 {
+		t.Errorf("expected 4 small reachabilities, got %d (reach=%v)", smalls, res.Reach)
+	}
+}
+
+func TestEpsBoundsCoreness(t *testing.T) {
+	xs := []float64{0, 5, 10}
+	res := Run(len(xs), pointsDist(xs), 2, 1.0) // eps smaller than any gap
+	for i, c := range res.Core {
+		if !math.IsInf(c, 1) {
+			t.Errorf("point %d core with eps=1: %v", i, c)
+		}
+	}
+	// Everyone is its own component: all reach +Inf.
+	for i, r := range res.Reach {
+		if !math.IsInf(r, 1) {
+			t.Errorf("reach[%d] = %v, want +Inf", i, r)
+		}
+	}
+}
+
+func TestClusterSize(t *testing.T) {
+	if got := (Cluster{Start: 2, End: 5}).Size(); got != 4 {
+		t.Errorf("Size = %d", got)
+	}
+}
+
+func TestExtractXiDegenerateParams(t *testing.T) {
+	xs := []float64{0, 0.1, 10, 10.1}
+	res := Run(len(xs), pointsDist(xs), 2, math.Inf(1))
+	// Out-of-range xi falls back to 0.1 rather than panicking.
+	for _, xi := range []float64{-1, 0, 1, 2} {
+		cs := res.ExtractXi(xi, 2)
+		labels := res.Labels(cs)
+		if len(labels) != len(xs) {
+			t.Fatalf("xi=%v: bad labels length", xi)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package rdns
+
+import (
+	"sort"
+	"strings"
+
+	"offnetrisk/internal/geo"
+)
+
+// The validation pipeline's ExtractMetro is a dictionary scan. The system
+// the paper actually cites — HOIHO, "Learning to Extract Geographic
+// Information from Internet Router Hostnames" — *learns* per-operator
+// naming templates from hostnames with known locations, which survives
+// ambiguity a dictionary cannot (a constant brand token that collides with
+// an airport code appears in every hostname of an operator; only position
+// identifies the real geohint). This file implements that learner.
+
+// TrainingSample pairs a hostname with its known metro code.
+type TrainingSample struct {
+	Hostname string
+	Metro    string
+}
+
+// Template is a learned per-domain extraction rule: in hostnames under
+// Domain, the geohint is the Part-th dash-separated token of the
+// LabelFromEnd-th dot label (counting from the end, 0 = TLD side).
+type Template struct {
+	Domain       string
+	LabelFromEnd int
+	Part         int
+	// Accuracy and Support record the rule's training performance.
+	Accuracy float64
+	Support  int
+}
+
+// Learned is a set of per-domain templates with a dictionary fallback.
+type Learned struct {
+	rules map[string]Template
+}
+
+// domainOf returns the registration-ish suffix the learner keys on: the
+// last two labels.
+func domainOf(hostname string) string {
+	labels := strings.Split(strings.ToLower(hostname), ".")
+	if len(labels) < 2 {
+		return strings.ToLower(hostname)
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// tokenAt returns the candidate geohint at a position, or "" when the
+// position does not exist. Tokens are lower-cased with trailing digits
+// trimmed, matching hostname conventions like lhr2 or nyc3.
+func tokenAt(hostname string, labelFromEnd, part int) string {
+	labels := strings.Split(strings.ToLower(hostname), ".")
+	idx := len(labels) - 1 - labelFromEnd
+	if idx < 0 || idx >= len(labels) {
+		return ""
+	}
+	parts := strings.FieldsFunc(labels[idx], func(r rune) bool { return r == '-' || r == '_' })
+	if part >= len(parts) {
+		return ""
+	}
+	return trimDigits(parts[part])
+}
+
+// Learn fits per-domain templates: for every candidate position, count how
+// often the token equals the sample's metro code; keep the best position
+// per domain when it clears the support and accuracy thresholds.
+func Learn(samples []TrainingSample, minSupport int, minAccuracy float64) *Learned {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	type pos struct{ label, part int }
+	perDomain := make(map[string]map[pos][2]int) // pos → [hits, total]
+	for _, s := range samples {
+		d := domainOf(s.Hostname)
+		if perDomain[d] == nil {
+			perDomain[d] = make(map[pos][2]int)
+		}
+		for label := 0; label < 6; label++ {
+			for part := 0; part < 6; part++ {
+				tok := tokenAt(s.Hostname, label, part)
+				if tok == "" {
+					continue
+				}
+				c := perDomain[d][pos{label, part}]
+				c[1]++
+				if tok == strings.ToLower(s.Metro) {
+					c[0]++
+				}
+				perDomain[d][pos{label, part}] = c
+			}
+		}
+	}
+
+	out := &Learned{rules: make(map[string]Template)}
+	for d, positions := range perDomain {
+		// Deterministic iteration: sort candidate positions.
+		var cands []pos
+		for p := range positions {
+			cands = append(cands, p)
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].label != cands[j].label {
+				return cands[i].label < cands[j].label
+			}
+			return cands[i].part < cands[j].part
+		})
+		best := Template{}
+		for _, p := range cands {
+			c := positions[p]
+			if c[1] < minSupport {
+				continue
+			}
+			acc := float64(c[0]) / float64(c[1])
+			if acc > best.Accuracy {
+				best = Template{
+					Domain: d, LabelFromEnd: p.label, Part: p.part,
+					Accuracy: acc, Support: c[1],
+				}
+			}
+		}
+		if best.Support >= minSupport && best.Accuracy >= minAccuracy {
+			out.rules[d] = best
+		}
+	}
+	return out
+}
+
+// Rules returns the learned templates, sorted by domain.
+func (l *Learned) Rules() []Template {
+	out := make([]Template, 0, len(l.rules))
+	for _, t := range l.rules {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// Extract applies the learned template for the hostname's domain; when no
+// template exists (or its token is not a known metro) it falls back to the
+// dictionary scan.
+func (l *Learned) Extract(hostname string) (geo.Metro, bool) {
+	if t, ok := l.rules[domainOf(hostname)]; ok {
+		if tok := tokenAt(hostname, t.LabelFromEnd, t.Part); tok != "" {
+			if m, ok := geo.MetroByCode(tok); ok {
+				return m, true
+			}
+		}
+		// A learned template that fails to produce a known metro means the
+		// hostname genuinely has no (recognizable) geohint at the learned
+		// position; don't guess from other positions.
+		return geo.Metro{}, false
+	}
+	return ExtractMetro(hostname)
+}

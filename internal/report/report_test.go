@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPass(t *testing.T) {
+	cases := []struct {
+		c    Check
+		want bool
+	}{
+		{Check{Got: 5, Lo: 1, Hi: 10}, true},
+		{Check{Got: 1, Lo: 1, Hi: 10}, true},
+		{Check{Got: 10, Lo: 1, Hi: 10}, true},
+		{Check{Got: 0.9, Lo: 1, Hi: 10}, false},
+		{Check{Got: 10.1, Lo: 1, Hi: 10}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Pass(); got != tc.want {
+			t.Errorf("Pass(%+v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestSuiteAccounting(t *testing.T) {
+	var s Suite
+	s.Add("a", "1", 1, 0, 2, "%")
+	s.Add("b", "5", 50, 0, 10, "%")
+	s.AddBool("c", "claim", true)
+	s.AddBool("d", "claim", false)
+	if s.Passed() != 2 {
+		t.Errorf("Passed = %d, want 2", s.Passed())
+	}
+	if s.AllPassed() {
+		t.Error("AllPassed should be false")
+	}
+	failed := s.Failed()
+	if len(failed) != 2 || failed[0].ID != "b" || failed[1].ID != "d" {
+		t.Errorf("Failed = %+v", failed)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	var s Suite
+	s.Add("Table1/x", "23.2%", 23.1, 10, 36, "%")
+	s.AddBool("order", "a > b", true)
+	md := s.Markdown()
+	for _, want := range []string{"| check |", "Table1/x", "✅", "holds", "2/2 checks passed"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	s.AddBool("bad", "claim", false)
+	md = s.Markdown()
+	if !strings.Contains(md, "❌") || !strings.Contains(md, "violated") {
+		t.Error("failing check not rendered")
+	}
+}

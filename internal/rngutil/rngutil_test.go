@@ -1,0 +1,222 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestZipfSumAndShape(t *testing.T) {
+	r := New(1)
+	xs := Zipf(r, 1000, 1.1, 1e6)
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			t.Fatalf("negative mass %v", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1e6) > 1 {
+		t.Errorf("sum = %v, want 1e6", sum)
+	}
+	// Head-heavy: first decile should hold far more mass than last decile.
+	var head, tail float64
+	for i := 0; i < 100; i++ {
+		head += xs[i]
+	}
+	for i := 900; i < 1000; i++ {
+		tail += xs[i]
+	}
+	if head < 5*tail {
+		t.Errorf("Zipf not head-heavy: head=%v tail=%v", head, tail)
+	}
+}
+
+func TestZipfEdgeCases(t *testing.T) {
+	r := New(1)
+	if got := Zipf(r, 0, 1, 100); got != nil {
+		t.Errorf("n=0 should return nil, got %v", got)
+	}
+	one := Zipf(r, 1, 1, 100)
+	if len(one) != 1 || math.Abs(one[0]-100) > 1e-9 {
+		t.Errorf("n=1 should carry all mass: %v", one)
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	r := New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := IntBetween(r, 3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+	if got := IntBetween(r, 5, 5); got != 5 {
+		t.Errorf("degenerate range: got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("hi < lo should panic")
+		}
+	}()
+	IntBetween(r, 2, 1)
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	r := New(11)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[WeightedChoice(r, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	r := New(3)
+	if got := WeightedChoice(r, []float64{0, 0, 0}); got != 2 {
+		t.Errorf("all-zero weights should return last index, got %d", got)
+	}
+}
+
+func TestWeightedChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty weights should panic")
+		}
+	}()
+	WeightedChoice(New(1), nil)
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(5)
+	f := func(seed int64) bool {
+		rr := New(seed)
+		n, k := 20, 7
+		s := SampleWithoutReplacement(rr, n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// k > n clamps.
+	s := SampleWithoutReplacement(r, 3, 10)
+	if len(s) != 3 {
+		t.Errorf("k>n should clamp: got %d", len(s))
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := Jitter(r, 100, 0.2)
+		if v < 80 || v > 120 {
+			t.Fatalf("jitter out of bounds: %v", v)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if v := LogNormal(r, 2, 1); v <= 0 {
+			t.Fatalf("log-normal must be positive: %v", v)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("p=0 fired")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("p=1 did not fire")
+		}
+	}
+}
+
+func TestDescending(t *testing.T) {
+	xs := Descending([]float64{3, 1, 2})
+	if xs[0] != 3 || xs[1] != 2 || xs[2] != 1 {
+		t.Errorf("not descending: %v", xs)
+	}
+}
+
+func TestFastDeterministicAndUniform(t *testing.T) {
+	a, b := NewFast(99), NewFast(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fast not deterministic")
+		}
+	}
+	f := NewFast(7)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := f.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Fast mean = %v, want ≈0.5", mean)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := f.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	f.Intn(0)
+}

@@ -1,0 +1,79 @@
+package scan
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"offnetrisk/internal/cert"
+	"offnetrisk/internal/netaddr"
+)
+
+// recordJSON is the interchange form of a scan record: one JSON object per
+// line, the shape scan datasets (Censys, zgrab output) are exchanged in.
+type recordJSON struct {
+	IP string `json:"ip"`
+	// TLS certificate fields as the scanner observed them.
+	SubjectOrg string   `json:"subject_org,omitempty"`
+	SubjectCN  string   `json:"subject_cn,omitempty"`
+	DNSNames   []string `json:"dns_names,omitempty"`
+	Issuer     string   `json:"issuer,omitempty"`
+}
+
+// WriteNDJSON streams records to w as newline-delimited JSON, one scan
+// observation per line.
+func WriteNDJSON(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range records {
+		if err := enc.Encode(recordJSON{
+			IP:         r.Addr.String(),
+			SubjectOrg: r.Cert.SubjectOrg,
+			SubjectCN:  r.Cert.SubjectCN,
+			DNSNames:   r.Cert.DNSNames,
+			Issuer:     r.Cert.Issuer,
+		}); err != nil {
+			return fmt.Errorf("scan: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses newline-delimited scan records. Blank lines are
+// skipped; a malformed line aborts with its line number, since silently
+// dropping scan data would bias the inference downstream.
+func ReadNDJSON(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec recordJSON
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("scan: line %d: %w", line, err)
+		}
+		addr, err := netaddr.ParseAddr(rec.IP)
+		if err != nil {
+			return nil, fmt.Errorf("scan: line %d: %w", line, err)
+		}
+		out = append(out, Record{
+			Addr: addr,
+			Cert: cert.Certificate{
+				SubjectOrg: rec.SubjectOrg,
+				SubjectCN:  rec.SubjectCN,
+				DNSNames:   rec.DNSNames,
+				Issuer:     rec.Issuer,
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package scan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	_, records := simTiny(t, 1)
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(records))
+	}
+	for i := range records {
+		if back[i].Addr != records[i].Addr {
+			t.Fatalf("record %d address differs", i)
+		}
+		if back[i].Cert.Fingerprint() != records[i].Cert.Fingerprint() {
+			t.Fatalf("record %d certificate differs", i)
+		}
+	}
+}
+
+func TestReadNDJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json": `{"ip": "1.2.3.4"` + "\n",
+		"bad ip":   `{"ip": "999.1.1.1"}` + "\n",
+		"no ip":    `{"subject_cn": "x"}` + "\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadNDJSON(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Blank lines are tolerated.
+	good := `{"ip":"1.2.3.4","subject_cn":"*.nflxvideo.net"}` + "\n\n" +
+		`{"ip":"1.2.3.5"}` + "\n"
+	recs, err := ReadNDJSON(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Cert.SubjectCN != "*.nflxvideo.net" {
+		t.Fatalf("parsed %d records: %+v", len(recs), recs)
+	}
+}

@@ -1,0 +1,183 @@
+package scan
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"offnetrisk/internal/cert"
+)
+
+// NetScanner performs real TLS banner grabs: it dials each target, completes
+// a TLS handshake without verification (scanners record whatever leaf the
+// server presents, exactly as Censys does), and extracts the certificate
+// fields the methodology reads. It exists so the inference pipeline can be
+// exercised end-to-end over actual sockets in integration tests.
+type NetScanner struct {
+	// Dialer is used for TCP connections; zero value works.
+	Dialer net.Dialer
+	// Timeout bounds each handshake; default 5s.
+	Timeout time.Duration
+	// Concurrency bounds parallel handshakes; default 16.
+	Concurrency int
+}
+
+// NetRecord is one live-scan observation.
+type NetRecord struct {
+	Target string
+	Cert   cert.Certificate
+	Err    error
+}
+
+// Scan grabs TLS banners from every target ("host:port") and returns one
+// record per target, in input order. Individual failures are recorded, not
+// fatal — a scan of the Internet never stops for one dead host.
+func (s *NetScanner) Scan(ctx context.Context, targets []string) []NetRecord {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conc := s.Concurrency
+	if conc <= 0 {
+		conc = 16
+	}
+	out := make([]NetRecord, len(targets))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := s.grab(ctx, target, timeout)
+			out[i] = NetRecord{Target: target, Cert: c, Err: err}
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *NetScanner) grab(ctx context.Context, target string, timeout time.Duration) (cert.Certificate, error) {
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := s.Dialer.DialContext(dctx, "tcp", target)
+	if err != nil {
+		return cert.Certificate{}, fmt.Errorf("scan: dial %s: %w", target, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return cert.Certificate{}, fmt.Errorf("scan: deadline %s: %w", target, err)
+	}
+	tc := tls.Client(conn, &tls.Config{InsecureSkipVerify: true})
+	if err := tc.HandshakeContext(dctx); err != nil {
+		return cert.Certificate{}, fmt.Errorf("scan: handshake %s: %w", target, err)
+	}
+	defer tc.Close()
+	state := tc.ConnectionState()
+	if len(state.PeerCertificates) == 0 {
+		return cert.Certificate{}, fmt.Errorf("scan: %s presented no certificate", target)
+	}
+	leaf := state.PeerCertificates[0]
+	return FromX509(leaf), nil
+}
+
+// FromX509 converts an X.509 leaf into the record shape the methodology
+// consumes.
+func FromX509(leaf *x509.Certificate) cert.Certificate {
+	var org string
+	if len(leaf.Subject.Organization) > 0 {
+		org = leaf.Subject.Organization[0]
+	}
+	var issuer string
+	if len(leaf.Issuer.Organization) > 0 {
+		issuer = leaf.Issuer.Organization[0]
+	} else {
+		issuer = leaf.Issuer.CommonName
+	}
+	return cert.Certificate{
+		SubjectOrg: org,
+		SubjectCN:  leaf.Subject.CommonName,
+		DNSNames:   append([]string(nil), leaf.DNSNames...),
+		Issuer:     issuer,
+	}
+}
+
+// ServeTLS starts a TLS listener on addr (use "127.0.0.1:0" in tests)
+// presenting a freshly self-signed certificate with the given record's
+// fields. It returns the bound address and a shutdown func. Connections are
+// accepted, handshaken, and closed — all a banner scan needs.
+func ServeTLS(addr string, c cert.Certificate) (string, func(), error) {
+	tlsCert, err := selfSign(c)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := tls.Listen("tcp", addr, &tls.Config{Certificates: []tls.Certificate{tlsCert}})
+	if err != nil {
+		return "", nil, fmt.Errorf("scan: listen %s: %w", addr, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if tc, ok := conn.(*tls.Conn); ok {
+					_ = tc.Handshake()
+				}
+			}(conn)
+		}
+	}()
+	stop := func() {
+		close(done)
+		ln.Close()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// selfSign builds a throwaway self-signed X.509 certificate carrying the
+// record's Subject and SANs.
+func selfSign(c cert.Certificate) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("scan: keygen: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject: pkix.Name{
+			CommonName: c.SubjectCN,
+		},
+		Issuer: pkix.Name{
+			Organization: []string{c.Issuer},
+		},
+		DNSNames:  c.DNSNames,
+		NotBefore: time.Now().Add(-time.Hour),
+		NotAfter:  time.Now().Add(24 * time.Hour),
+		KeyUsage:  x509.KeyUsageDigitalSignature,
+	}
+	if c.SubjectOrg != "" {
+		tmpl.Subject.Organization = []string{c.SubjectOrg}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("scan: self-sign: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}

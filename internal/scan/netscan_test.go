@@ -1,0 +1,104 @@
+package scan
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"offnetrisk/internal/cert"
+)
+
+func TestNetScannerLive(t *testing.T) {
+	// Spin up live TLS listeners presenting hypergiant-style certificates
+	// and verify the scanner recovers the fields the methodology needs.
+	certs := []cert.Certificate{
+		{SubjectOrg: "Netflix, Inc.", SubjectCN: "*.nflxvideo.net",
+			DNSNames: []string{"ipv4-c001-lhr1-isp.1.oca.nflxvideo.net"}},
+		{SubjectCN: "*.googlevideo.com", DNSNames: []string{"r1---sn-lhr1.googlevideo.com"}},
+		{SubjectOrg: "Meta Platforms, Inc.", SubjectCN: "*.fhan14-4.fna.fbcdn.net",
+			DNSNames: []string{"*.fhan14-4.fna.fbcdn.net"}},
+	}
+	var targets []string
+	for _, c := range certs {
+		addr, stop, err := ServeTLS("127.0.0.1:0", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stop()
+		targets = append(targets, addr)
+	}
+
+	s := &NetScanner{Timeout: 5 * time.Second, Concurrency: 4}
+	recs := s.Scan(context.Background(), targets)
+	if len(recs) != len(targets) {
+		t.Fatalf("got %d records, want %d", len(recs), len(targets))
+	}
+	for i, r := range recs {
+		if r.Err != nil {
+			t.Fatalf("target %s: %v", r.Target, r.Err)
+		}
+		if r.Cert.SubjectCN != certs[i].SubjectCN {
+			t.Errorf("target %d: CN = %q, want %q", i, r.Cert.SubjectCN, certs[i].SubjectCN)
+		}
+		if r.Cert.SubjectOrg != certs[i].SubjectOrg {
+			t.Errorf("target %d: Org = %q, want %q", i, r.Cert.SubjectOrg, certs[i].SubjectOrg)
+		}
+		if len(r.Cert.DNSNames) != len(certs[i].DNSNames) {
+			t.Errorf("target %d: SANs = %v, want %v", i, r.Cert.DNSNames, certs[i].DNSNames)
+		}
+	}
+
+	// The Google record must be identifiable by the 2023 pattern even
+	// though its Organization entry is absent.
+	if recs[1].Cert.SubjectOrg != "" {
+		t.Error("Google-style cert should have empty Org")
+	}
+	if !recs[1].Cert.AnyNameMatches([]string{"*.googlevideo.com"}) {
+		t.Error("Google-style live cert must match *.googlevideo.com")
+	}
+	if !recs[2].Cert.AnyNameMatches([]string{"*.fbcdn.net"}) {
+		t.Error("Meta-style live cert must match *.fbcdn.net")
+	}
+}
+
+func TestNetScannerDeadHost(t *testing.T) {
+	s := &NetScanner{Timeout: 500 * time.Millisecond}
+	// Reserved TEST-NET-1 address: must fail fast, not hang the scan.
+	recs := s.Scan(context.Background(), []string{"127.0.0.1:1"})
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Err == nil {
+		t.Error("dead host should produce an error record")
+	}
+}
+
+func TestNetScannerContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &NetScanner{Timeout: time.Second}
+	recs := s.Scan(ctx, []string{"127.0.0.1:1", "127.0.0.1:2"})
+	for _, r := range recs {
+		if r.Err == nil {
+			t.Error("cancelled scan should error per target")
+		}
+	}
+}
+
+func TestServeTLSStop(t *testing.T) {
+	addr, stop, err := ServeTLS("127.0.0.1:0", cert.Certificate{SubjectCN: "x.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Errorf("bound addr = %q", addr)
+	}
+	stop()
+	// After stop the port must refuse new scans.
+	s := &NetScanner{Timeout: 500 * time.Millisecond}
+	recs := s.Scan(context.Background(), []string{addr})
+	if recs[0].Err == nil {
+		t.Error("scan after shutdown should fail")
+	}
+}

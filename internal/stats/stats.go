@@ -1,0 +1,221 @@
+// Package stats provides the small statistical toolkit the analyses share:
+// quantiles, means, weighted CCDFs (Figure 2 weights users, not ISPs), and
+// the colocation bucketing of Table 2.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0≤q≤1) using linear interpolation between
+// order statistics. It returns 0 for an empty slice and clamps q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// WeightedPoint is one observation with a weight (e.g. a facility share
+// weighted by the ISP's user population).
+type WeightedPoint struct {
+	Value  float64
+	Weight float64
+}
+
+// CCDFPoint is one point of a complementary CDF: the fraction of total
+// weight with Value >= X.
+type CCDFPoint struct {
+	X    float64
+	Frac float64
+}
+
+// WeightedCCDF computes the weight-fraction of observations with value ≥ x
+// over all distinct values. Figure 2 is such a curve: "CCDF of users in ISPs
+// with offnets" against "estimated fraction of traffic served from one
+// facility".
+func WeightedCCDF(points []WeightedPoint) []CCDFPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	s := append([]WeightedPoint(nil), points...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Value < s[j].Value })
+	var total float64
+	for _, p := range s {
+		total += p.Weight
+	}
+	if total <= 0 {
+		return nil
+	}
+	var out []CCDFPoint
+	remaining := total
+	i := 0
+	for i < len(s) {
+		x := s[i].Value
+		out = append(out, CCDFPoint{X: x, Frac: remaining / total})
+		for i < len(s) && s[i].Value == x {
+			remaining -= s[i].Weight
+			i++
+		}
+	}
+	return out
+}
+
+// CCDFAt evaluates a CCDF (as produced by WeightedCCDF) at x: the weight
+// fraction with value ≥ x.
+func CCDFAt(ccdf []CCDFPoint, x float64) float64 {
+	// Points are ascending in X; find the first point with X >= x.
+	for _, p := range ccdf {
+		if p.X >= x {
+			return p.Frac
+		}
+	}
+	return 0
+}
+
+// Bucket identifies a Table 2 colocation bucket. The table buckets ISPs by
+// the percentage of a hypergiant's offnets colocated with another
+// hypergiant: {0%, (0%,50%), [50%,100%), 100%}.
+type Bucket int
+
+// Table 2 buckets, in column order.
+const (
+	BucketZero Bucket = iota // exactly 0%
+	BucketLow                // (0%, 50%)
+	BucketHigh               // [50%, 100%)
+	BucketFull               // exactly 100%
+	NumBuckets
+)
+
+// String implements fmt.Stringer with the paper's column headers.
+func (b Bucket) String() string {
+	switch b {
+	case BucketZero:
+		return "0%"
+	case BucketLow:
+		return "(0%,50%)"
+	case BucketHigh:
+		return "[50%,100%)"
+	case BucketFull:
+		return "100%"
+	default:
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+}
+
+// BucketOf classifies a colocated fraction into its Table 2 bucket. The
+// fraction is clamped into [0,1].
+func BucketOf(frac float64) Bucket {
+	switch {
+	case frac <= 0:
+		return BucketZero
+	case frac < 0.5:
+		return BucketLow
+	case frac < 1:
+		return BucketHigh
+	default:
+		return BucketFull
+	}
+}
+
+// Histogram counts occurrences per bucket and converts to fractions.
+type Histogram struct {
+	Counts [NumBuckets]int
+	Total  int
+}
+
+// Add records one observation.
+func (h *Histogram) Add(b Bucket) {
+	if b >= 0 && b < NumBuckets {
+		h.Counts[b]++
+		h.Total++
+	}
+}
+
+// Frac returns the fraction of observations in the bucket.
+func (h *Histogram) Frac(b Bucket) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.Total)
+}
+
+// HHI computes the Herfindahl–Hirschman concentration index of a set of
+// shares: the sum of squared share fractions, 1/n for perfectly even
+// distribution, 1.0 for full concentration. The paper's argument is that
+// offnet colocation concentrates a user's traffic into few facilities; HHI
+// over per-facility traffic shares quantifies it.
+func HHI(shares []float64) float64 {
+	var total float64
+	for _, s := range shares {
+		if s > 0 {
+			total += s
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var hhi float64
+	for _, s := range shares {
+		if s > 0 {
+			f := s / total
+			hhi += f * f
+		}
+	}
+	return hhi
+}
+
+// Gini computes the Gini coefficient of the values (0 = perfectly even,
+// →1 = fully concentrated). Negative values are treated as zero.
+func Gini(values []float64) float64 {
+	xs := make([]float64, 0, len(values))
+	var total float64
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		xs = append(xs, v)
+		total += v
+	}
+	if len(xs) == 0 || total <= 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	var cum, area float64
+	for _, v := range xs {
+		area += cum + v/2
+		cum += v
+	}
+	// area is the Lorenz area in units of total × n; normalize.
+	lorenz := area / (float64(len(xs)) * total)
+	return 1 - 2*lorenz
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {-1, 1}, {2, 4},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa, qb := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedCCDF(t *testing.T) {
+	pts := []WeightedPoint{
+		{Value: 0.1, Weight: 1},
+		{Value: 0.5, Weight: 2},
+		{Value: 0.5, Weight: 1},
+		{Value: 0.9, Weight: 1},
+	}
+	ccdf := WeightedCCDF(pts)
+	// At the minimum everything is ≥: frac 1.
+	if ccdf[0].X != 0.1 || ccdf[0].Frac != 1 {
+		t.Errorf("first point = %+v", ccdf[0])
+	}
+	// ≥0.5: weight 4 of 5.
+	if got := CCDFAt(ccdf, 0.5); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("CCDF(0.5) = %v, want 0.8", got)
+	}
+	// ≥0.9: weight 1 of 5.
+	if got := CCDFAt(ccdf, 0.9); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("CCDF(0.9) = %v, want 0.2", got)
+	}
+	// Beyond max: 0.
+	if got := CCDFAt(ccdf, 0.95); got != 0 {
+		t.Errorf("CCDF(0.95) = %v, want 0", got)
+	}
+	if WeightedCCDF(nil) != nil {
+		t.Error("empty CCDF should be nil")
+	}
+	if WeightedCCDF([]WeightedPoint{{Value: 1, Weight: 0}}) != nil {
+		t.Error("zero total weight should be nil")
+	}
+}
+
+func TestWeightedCCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var pts []WeightedPoint
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			pts = append(pts, WeightedPoint{Value: v, Weight: float64(i%3 + 1)})
+		}
+		ccdf := WeightedCCDF(pts)
+		// X ascending, Frac non-increasing, Frac within [0,1].
+		for i := range ccdf {
+			if ccdf[i].Frac < -1e-9 || ccdf[i].Frac > 1+1e-9 {
+				return false
+			}
+			if i > 0 && (ccdf[i].X <= ccdf[i-1].X || ccdf[i].Frac > ccdf[i-1].Frac+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want Bucket
+	}{
+		{0, BucketZero}, {-0.1, BucketZero},
+		{0.001, BucketLow}, {0.499, BucketLow},
+		{0.5, BucketHigh}, {0.999, BucketHigh},
+		{1.0, BucketFull}, {1.5, BucketFull},
+	}
+	for _, tc := range cases {
+		if got := BucketOf(tc.frac); got != tc.want {
+			t.Errorf("BucketOf(%v) = %v, want %v", tc.frac, got, tc.want)
+		}
+	}
+}
+
+func TestBucketStrings(t *testing.T) {
+	want := map[Bucket]string{
+		BucketZero: "0%", BucketLow: "(0%,50%)", BucketHigh: "[50%,100%)", BucketFull: "100%",
+	}
+	for b, s := range want {
+		if b.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), s)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(BucketZero)
+	h.Add(BucketFull)
+	h.Add(BucketFull)
+	h.Add(Bucket(99)) // ignored
+	if h.Total != 3 {
+		t.Errorf("Total = %d, want 3", h.Total)
+	}
+	if got := h.Frac(BucketFull); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("Frac(full) = %v", got)
+	}
+	var empty Histogram
+	if empty.Frac(BucketZero) != 0 {
+		t.Error("empty histogram Frac should be 0")
+	}
+	// Row sums to 1 across buckets.
+	var sum float64
+	for b := BucketZero; b < NumBuckets; b++ {
+		sum += h.Frac(b)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("bucket fractions sum to %v", sum)
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	xs := []float64{9, 7, 5, 3, 1}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if got := Quantile(xs, 0.25); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Quantile(0.25) = %v, want 3", got)
+	}
+}
+
+func TestHHI(t *testing.T) {
+	if got := HHI([]float64{1, 1, 1, 1}); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("even HHI = %v, want 0.25", got)
+	}
+	if got := HHI([]float64{10, 0, 0}); got != 1 {
+		t.Errorf("concentrated HHI = %v, want 1", got)
+	}
+	if HHI(nil) != 0 || HHI([]float64{0, 0}) != 0 {
+		t.Error("degenerate HHI should be 0")
+	}
+	// Scale invariance.
+	a := HHI([]float64{1, 2, 3})
+	b := HHI([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("HHI not scale invariant: %v vs %v", a, b)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{5, 5, 5, 5}); math.Abs(got) > 1e-9 {
+		t.Errorf("even Gini = %v, want 0", got)
+	}
+	n := 1000
+	concentrated := make([]float64, n)
+	concentrated[0] = 100
+	if got := Gini(concentrated); got < 0.99 {
+		t.Errorf("concentrated Gini = %v, want ≈1", got)
+	}
+	if Gini(nil) != 0 {
+		t.Error("empty Gini should be 0")
+	}
+	// More unequal distributions score higher.
+	even := Gini([]float64{3, 3, 3})
+	skew := Gini([]float64{1, 2, 6})
+	if skew <= even {
+		t.Errorf("skewed Gini (%v) should exceed even (%v)", skew, even)
+	}
+}
+
+func TestGiniNegativeClamped(t *testing.T) {
+	if got := Gini([]float64{-5, 5}); got < 0 || got > 1 {
+		t.Errorf("Gini with negative input out of range: %v", got)
+	}
+}

@@ -1,0 +1,258 @@
+// Package svgplot renders the paper's figures as standalone SVG documents
+// using nothing but the standard library: step lines for the Figure 2 CCDF,
+// line charts for the diurnal sweep, a world scatter for the Figure 1 maps,
+// and bar plots for reachability diagrams. The output is deliberately
+// minimal, deterministic, and viewer-agnostic.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line: X strictly ascending.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string
+}
+
+// Palette supplies default series colors.
+var Palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+const (
+	width   = 720
+	height  = 440
+	marginL = 70
+	marginR = 30
+	marginT = 46
+	marginB = 58
+)
+
+type canvas struct {
+	b strings.Builder
+}
+
+func newCanvas(title string) *canvas {
+	c := &canvas{}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&c.b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`,
+		width/2, escape(title))
+	return c
+}
+
+func (c *canvas) finish() string {
+	c.b.WriteString(`</svg>`)
+	return c.b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// bounds computes data extents across series with degenerate-range guards.
+func bounds(series []Series) (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return
+}
+
+type scale struct {
+	xmin, xmax, ymin, ymax float64
+}
+
+func (sc scale) px(x float64) float64 {
+	return marginL + (x-sc.xmin)/(sc.xmax-sc.xmin)*(width-marginL-marginR)
+}
+
+func (sc scale) py(y float64) float64 {
+	return float64(height-marginB) - (y-sc.ymin)/(sc.ymax-sc.ymin)*float64(height-marginT-marginB)
+}
+
+func (c *canvas) axes(sc scale, xlabel, ylabel string) {
+	fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`,
+		(marginL+width-marginR)/2, height-14, escape(xlabel))
+	fmt.Fprintf(&c.b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(ylabel))
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		xv := sc.xmin + (sc.xmax-sc.xmin)*float64(i)/5
+		yv := sc.ymin + (sc.ymax-sc.ymin)*float64(i)/5
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`,
+			sc.px(xv), height-marginB, sc.px(xv), height-marginB+5)
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			sc.px(xv), height-marginB+18, fmtTick(xv))
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`,
+			marginL-5, sc.py(yv), marginL, sc.py(yv))
+		fmt.Fprintf(&c.b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			marginL-8, sc.py(yv)+3, fmtTick(yv))
+	}
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fB", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || av == 0:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func (c *canvas) legend(series []Series) {
+	y := marginT + 4
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			color = Palette[i%len(Palette)]
+		}
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			width-marginR-150, y, width-marginR-120, y, color)
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`,
+			width-marginR-114, y+4, escape(s.Name))
+		y += 18
+	}
+}
+
+func (c *canvas) polyline(sc scale, s Series, color string, step bool) {
+	if len(s.X) == 0 {
+		return
+	}
+	var pts []string
+	prevY := math.NaN()
+	for i := range s.X {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+			continue
+		}
+		if step && !math.IsNaN(prevY) {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sc.px(s.X[i]), sc.py(prevY)))
+		}
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", sc.px(s.X[i]), sc.py(s.Y[i])))
+		prevY = s.Y[i]
+	}
+	fmt.Fprintf(&c.b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`,
+		color, strings.Join(pts, " "))
+}
+
+// Lines renders a multi-series line chart.
+func Lines(title, xlabel, ylabel string, series []Series) string {
+	return plot(title, xlabel, ylabel, series, false)
+}
+
+// StepLines renders a multi-series step chart (CCDFs).
+func StepLines(title, xlabel, ylabel string, series []Series) string {
+	return plot(title, xlabel, ylabel, series, true)
+}
+
+func plot(title, xlabel, ylabel string, series []Series, step bool) string {
+	c := newCanvas(title)
+	xmin, xmax, ymin, ymax := bounds(series)
+	sc := scale{xmin, xmax, ymin, ymax}
+	c.axes(sc, xlabel, ylabel)
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			color = Palette[i%len(Palette)]
+		}
+		c.polyline(sc, s, color, step)
+	}
+	c.legend(series)
+	return c.finish()
+}
+
+// MapPoint is one dot on the world scatter: a location with an intensity in
+// [0,1].
+type MapPoint struct {
+	LatDeg, LonDeg float64
+	Value          float64
+	Label          string
+}
+
+// WorldMap renders an equirectangular scatter of points shaded by value —
+// the stand-in for Figure 1's choropleths.
+func WorldMap(title string, points []MapPoint) string {
+	c := newCanvas(title)
+	sc := scale{xmin: -180, xmax: 180, ymin: -60, ymax: 75}
+	// Frame.
+	fmt.Fprintf(&c.b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f7fa" stroke="#ccc"/>`,
+		marginL, marginT, width-marginL-marginR, height-marginT-marginB)
+	for _, p := range points {
+		v := math.Max(0, math.Min(1, p.Value))
+		// Light grey → deep red.
+		r := int(220 - 60*v)
+		g := int(220 - 180*v)
+		b := int(220 - 180*v)
+		fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="rgb(%d,%d,%d)" stroke="#666" stroke-width="0.4"><title>%s: %.0f%%</title></circle>`,
+			sc.px(p.LonDeg), sc.py(p.LatDeg), 4+6*v, r, g, b, escape(p.Label), 100*v)
+	}
+	return c.finish()
+}
+
+// Bars renders a single-series bar plot (reachability diagrams).
+func Bars(title, xlabel, ylabel string, values []float64) string {
+	c := newCanvas(title)
+	ymax := 0.0
+	for _, v := range values {
+		if !math.IsInf(v, 1) && v > ymax {
+			ymax = v
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	sc := scale{xmin: 0, xmax: float64(len(values)), ymin: 0, ymax: ymax * 1.05}
+	c.axes(sc, xlabel, ylabel)
+	bw := (float64(width-marginL-marginR) / float64(len(values))) * 0.9
+	for i, v := range values {
+		val := v
+		capped := false
+		if math.IsInf(v, 1) || v > ymax {
+			val = ymax
+			capped = true
+		}
+		color := "#1f77b4"
+		if capped {
+			color = "#d62728"
+		}
+		x := sc.px(float64(i))
+		fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			x, sc.py(val), bw, sc.py(0)-sc.py(val), color)
+	}
+	return c.finish()
+}

@@ -1,0 +1,81 @@
+package svgplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesWellFormed(t *testing.T) {
+	svg := Lines("Title <x>", "hour", "Gbps", []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 3, 2}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 4}, Color: "#000"},
+	})
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Title &lt;x&gt;", "#000"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	if strings.Contains(svg, "<x>") {
+		t.Error("title not escaped")
+	}
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Errorf("polylines = %d, want 2", n)
+	}
+}
+
+func TestStepLinesAddStepPoints(t *testing.T) {
+	line := Lines("t", "x", "y", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 0}}})
+	step := StepLines("t", "x", "y", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 0}}})
+	if len(step) <= len(line) {
+		t.Error("step chart should contain extra step vertices")
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	// Empty and constant series must not produce NaN coordinates.
+	for _, series := range [][]Series{
+		nil,
+		{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}},
+		{{Name: "n", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}},
+	} {
+		svg := Lines("t", "x", "y", series)
+		if strings.Contains(svg, "NaN") {
+			t.Errorf("NaN leaked into SVG for %+v", series)
+		}
+	}
+}
+
+func TestWorldMap(t *testing.T) {
+	svg := WorldMap("Figure 1", []MapPoint{
+		{LatDeg: 48.9, LonDeg: 2.3, Value: 0.9, Label: "FR"},
+		{LatDeg: -34.9, LonDeg: -56.2, Value: 0.2, Label: "UY"},
+		{LatDeg: 0, LonDeg: 0, Value: 2.0, Label: "clamped"}, // out of range clamps
+	})
+	if n := strings.Count(svg, "<circle"); n != 3 {
+		t.Errorf("circles = %d, want 3", n)
+	}
+	if !strings.Contains(svg, "FR: 90%") {
+		t.Error("tooltip missing")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN in world map")
+	}
+}
+
+func TestBars(t *testing.T) {
+	svg := Bars("reachability", "order", "ms", []float64{1, 2, math.Inf(1), 0.5})
+	if n := strings.Count(svg, "<rect"); n < 5 { // background + 4 bars
+		t.Errorf("rects = %d, want ≥5", n)
+	}
+	if !strings.Contains(svg, "#d62728") {
+		t.Error("capped (infinite) bar should be highlighted")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("non-finite values leaked")
+	}
+	// All-zero input guards the scale.
+	if svg := Bars("z", "x", "y", []float64{0, 0}); strings.Contains(svg, "NaN") {
+		t.Error("zero bars produced NaN")
+	}
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperConstants(t *testing.T) {
+	// §2.1 / §3.2 arithmetic, to the paper's rounding.
+	cases := []struct {
+		hg    HG
+		share float64
+	}{
+		{Google, 0.21 * 0.80},  // "21% × 80% = 17%"
+		{Netflix, 0.09 * 0.95}, // "9% × 95% = 9%"
+		{Meta, 0.15 * 0.86},    // "15% × 86% = 13%"
+		{Akamai, 0.175 * 0.75}, // "17.5% × 75% = 13%"
+	}
+	for _, tc := range cases {
+		if got := tc.hg.FacilityShare(); math.Abs(got-tc.share) > 1e-12 {
+			t.Errorf("%s FacilityShare = %v, want %v", tc.hg, got, tc.share)
+		}
+	}
+}
+
+func TestAllFourSumTo52Percent(t *testing.T) {
+	// "A facility hosting all four hypergiants can serve 17% + 9% + 13% +
+	// 13% = 52% of a user's traffic!"
+	got := CombinedFacilityShare(All)
+	if got < 0.51 || got > 0.53 {
+		t.Errorf("combined share = %.4f, want ≈0.52", got)
+	}
+}
+
+func TestCombinedDeduplicates(t *testing.T) {
+	single := CombinedFacilityShare([]HG{Google})
+	dup := CombinedFacilityShare([]HG{Google, Google, Google})
+	if single != dup {
+		t.Errorf("duplicate HGs double-counted: %v vs %v", single, dup)
+	}
+	if CombinedFacilityShare(nil) != 0 {
+		t.Error("empty set should be 0")
+	}
+	if CombinedFacilityShare([]HG{HG(99), HG(-1)}) != 0 {
+		t.Error("invalid HGs should contribute 0")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	want := map[HG]string{Google: "Google", Netflix: "Netflix", Meta: "Meta", Akamai: "Akamai", HG(9): "HG(?)"}
+	for h, s := range want {
+		if h.String() != s {
+			t.Errorf("String(%d) = %q want %q", int(h), h.String(), s)
+		}
+	}
+}
+
+func TestAllOrderMatchesTable1(t *testing.T) {
+	if len(All) != int(NumHG) {
+		t.Fatalf("All has %d entries, want %d", len(All), NumHG)
+	}
+	if All[0] != Google || All[1] != Netflix || All[2] != Meta || All[3] != Akamai {
+		t.Error("All must follow Table 1 order: Google, Netflix, Meta, Akamai")
+	}
+}
+
+func TestSharesAreProbabilities(t *testing.T) {
+	var sum float64
+	for _, h := range All {
+		if s := h.Share(); s <= 0 || s >= 1 {
+			t.Errorf("%s Share = %v out of (0,1)", h, s)
+		}
+		if f := h.OffnetFraction(); f <= 0 || f > 1 {
+			t.Errorf("%s OffnetFraction = %v out of (0,1]", h, f)
+		}
+		sum += h.Share()
+	}
+	if sum >= 1 {
+		t.Errorf("hypergiant shares sum to %v ≥ 1", sum)
+	}
+}

@@ -1,0 +1,103 @@
+// Package offnetrisk reproduces "The Central Problem with Distributed
+// Content: Common CDN Deployments Centralize Traffic In A Risky Way"
+// (HotNets 2023) as a runnable system: a synthetic Internet with hypergiant
+// offnet deployments, the paper's measurement pipelines (TLS-scan offnet
+// discovery, latency-based OPTICS colocation clustering, reverse-DNS
+// validation, cloud traceroute peering inference), and the capacity /
+// cascade models behind its risk argument.
+//
+// The entry point is Pipeline: configure a world size and a seed, then run
+// the experiment corresponding to each table and figure of the paper.
+//
+//	p := offnetrisk.NewPipeline(42, offnetrisk.ScaleDefault)
+//	t1, err := p.Table1()           // §2.2, Table 1
+//	col, err := p.Colocation()      // §3.2, Table 2 + Figures 1–2
+//	ps, err := p.PeeringSurvey()    // §4.2.1
+//	cap, err := p.CapacityStudy()   // §4.1 + §4.2.2
+//	cas, err := p.CascadeStudy()    // §3.3 + §4.3
+//
+// All randomness derives from the pipeline seed; equal seeds reproduce
+// identical results bit for bit.
+package offnetrisk
+
+import (
+	"fmt"
+	"sync"
+
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/inet"
+)
+
+// Scale selects how large a synthetic Internet the pipeline builds.
+type Scale int
+
+// Scales. ScaleTiny runs in well under a second and is meant for tests;
+// ScaleDefault approximates the structural ratios of the paper's datasets
+// and runs in seconds.
+const (
+	ScaleTiny Scale = iota
+	ScaleDefault
+	ScaleLarge
+)
+
+// Pipeline owns a seeded reproduction run. Worlds and deployments are built
+// lazily, once per epoch, and shared across experiments.
+type Pipeline struct {
+	Seed  int64
+	Scale Scale
+
+	mu     sync.Mutex
+	worlds map[hypergiant.Epoch]*inet.World
+	deps   map[hypergiant.Epoch]*hypergiant.Deployment
+}
+
+// NewPipeline creates a pipeline for the given seed and scale.
+func NewPipeline(seed int64, scale Scale) *Pipeline {
+	return &Pipeline{
+		Seed:   seed,
+		Scale:  scale,
+		worlds: make(map[hypergiant.Epoch]*inet.World),
+		deps:   make(map[hypergiant.Epoch]*hypergiant.Deployment),
+	}
+}
+
+func (p *Pipeline) worldConfig() inet.Config {
+	switch p.Scale {
+	case ScaleTiny:
+		return inet.TinyConfig(p.Seed)
+	case ScaleLarge:
+		return inet.LargeConfig(p.Seed)
+	default:
+		return inet.DefaultConfig(p.Seed)
+	}
+}
+
+// deployment returns (building if needed) the world and deployment for an
+// epoch. Deployments mutate their world, so each epoch gets a fresh world
+// generated from the same seed.
+func (p *Pipeline) deployment(epoch hypergiant.Epoch) (*inet.World, *hypergiant.Deployment, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d, ok := p.deps[epoch]; ok {
+		return p.worlds[epoch], d, nil
+	}
+	w := inet.Generate(p.worldConfig())
+	d, err := hypergiant.Deploy(w, epoch, hypergiant.DefaultDeployConfig(p.Seed))
+	if err != nil {
+		return nil, nil, fmt.Errorf("offnetrisk: deploy epoch %d: %w", epoch, err)
+	}
+	p.worlds[epoch] = w
+	p.deps[epoch] = d
+	return w, d, nil
+}
+
+// World2023 exposes the 2023 world and deployment for advanced use (custom
+// scenarios, examples).
+func (p *Pipeline) World2023() (*inet.World, *hypergiant.Deployment, error) {
+	return p.deployment(hypergiant.Epoch2023)
+}
+
+// World2021 exposes the 2021 snapshot.
+func (p *Pipeline) World2021() (*inet.World, *hypergiant.Deployment, error) {
+	return p.deployment(hypergiant.Epoch2021)
+}

@@ -1,0 +1,96 @@
+package offnetrisk
+
+import (
+	"fmt"
+	"strings"
+
+	"offnetrisk/internal/hypergiant"
+	"offnetrisk/internal/tracert"
+	"offnetrisk/internal/traffic"
+)
+
+// PeeringSurveyResult reproduces §4.2.1 for one hypergiant (the paper can
+// only measure from Google Cloud; we default to Google too).
+type PeeringSurveyResult struct {
+	Hypergiant string
+	// Of ISPs hosting the hypergiant's offnets (paper: 38.2% / 13.3% /
+	// 48.4% for Google).
+	HostsTotal, HostsPeer, HostsPossible, HostsNoEvidence int
+	// Of all inferred peers (paper: 9207 total, 62.2% via IXP, 42.5%
+	// IXP-only).
+	PeersTotal, PeersViaIXP, PeersOnlyIXP int
+	Traceroutes                           int
+}
+
+// PeerPct returns the percent of offnet hosts classified as peers.
+func (r *PeeringSurveyResult) PeerPct() float64 { return pct(r.HostsPeer, r.HostsTotal) }
+
+// PossiblePct returns the percent classified as possible peers.
+func (r *PeeringSurveyResult) PossiblePct() float64 { return pct(r.HostsPossible, r.HostsTotal) }
+
+// NoEvidencePct returns the percent with no peering evidence.
+func (r *PeeringSurveyResult) NoEvidencePct() float64 { return pct(r.HostsNoEvidence, r.HostsTotal) }
+
+// ViaIXPPct returns the percent of peers seen over an exchange.
+func (r *PeeringSurveyResult) ViaIXPPct() float64 { return pct(r.PeersViaIXP, r.PeersTotal) }
+
+// OnlyIXPPct returns the percent of peers seen only over exchanges.
+func (r *PeeringSurveyResult) OnlyIXPPct() float64 { return pct(r.PeersOnlyIXP, r.PeersTotal) }
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// PeeringSurvey runs the §4.2.1 traceroute campaign and inference for
+// Google.
+func (p *Pipeline) PeeringSurvey() (*PeeringSurveyResult, error) {
+	return p.PeeringSurveyFor(traffic.Google)
+}
+
+// PeeringSurveyFor runs the survey for any hypergiant — something the paper
+// could not do ("We cannot run measurements from Meta, Netflix, or Akamai")
+// but the simulation can.
+func (p *Pipeline) PeeringSurveyFor(hg traffic.HG) (*PeeringSurveyResult, error) {
+	w, d, err := p.deployment(hypergiant.Epoch2023)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tracert.DefaultConfig(p.Seed)
+	if p.Scale == ScaleTiny {
+		cfg.VMs = 24
+	}
+	traces := tracert.Survey(d, hg, cfg)
+	inf := tracert.Infer(w, hg, d.ContentAS[hg], traces)
+	st := tracert.Stats(d, hg, inf)
+
+	n := 0
+	for _, list := range traces {
+		n += len(list)
+	}
+	return &PeeringSurveyResult{
+		Hypergiant:      hg.String(),
+		HostsTotal:      st.HostsTotal,
+		HostsPeer:       st.HostsPeer,
+		HostsPossible:   st.HostsPossible,
+		HostsNoEvidence: st.HostsNoEvidence,
+		PeersTotal:      st.PeersTotal,
+		PeersViaIXP:     st.PeersViaIXP,
+		PeersOnlyIXP:    st.PeersOnlyIXP,
+		Traceroutes:     n,
+	}, nil
+}
+
+// String renders the survey in the paper's phrasing.
+func (r *PeeringSurveyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§4.2.1 peering survey (%s, %d traceroutes)\n", r.Hypergiant, r.Traceroutes)
+	fmt.Fprintf(&b, "of %d ISPs with offnets: %d peer (%.1f%%), %d possible (%.1f%%), %d no evidence (%.1f%%)\n",
+		r.HostsTotal, r.HostsPeer, r.PeerPct(), r.HostsPossible, r.PossiblePct(),
+		r.HostsNoEvidence, r.NoEvidencePct())
+	fmt.Fprintf(&b, "of %d peers: %d via IXP (%.1f%%), %d IXP-only (%.1f%%)\n",
+		r.PeersTotal, r.PeersViaIXP, r.ViaIXPPct(), r.PeersOnlyIXP, r.OnlyIXPPct())
+	return b.String()
+}
