@@ -1,0 +1,26 @@
+# Build/verify entry points. `make check` is the full gate: vet + race tests.
+
+GO ?= go
+
+.PHONY: build test vet race bench check report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet race
+
+# Full reproduction report with provenance manifest.
+report:
+	$(GO) run ./cmd/reproduce -out out -manifest out/manifest.json

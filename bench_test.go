@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/cascade"
@@ -16,6 +17,7 @@ import (
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/optics"
 	"offnetrisk/internal/stats"
 	"offnetrisk/internal/traffic"
@@ -23,14 +25,41 @@ import (
 
 const benchSeed = 42
 
+// instrument attaches a fresh tracer to the pipeline and returns it, so the
+// bench can attach per-stage wall-clock to its output.
+func instrument(p *Pipeline) *obs.Tracer {
+	tr := obs.NewTracer()
+	p.Instrument(tr)
+	return tr
+}
+
+// reportStageTimings reports the per-stage wall-clock of the bench's last
+// pipeline run: one "ms/<stage>" metric per root span and per first-level
+// child. Stage names are hierarchical ("table1/tls-scan"), so the metrics
+// read as a flat per-stage cost profile next to the shape metrics.
+func reportStageTimings(b *testing.B, tr *obs.Tracer) {
+	b.Helper()
+	if tr == nil {
+		return
+	}
+	for _, root := range tr.Snapshot(time.Time{}) {
+		b.ReportMetric(root.DurMS, "ms/"+root.Name)
+		for _, child := range root.Children {
+			b.ReportMetric(child.DurMS, "ms/"+child.Name)
+		}
+	}
+}
+
 // BenchmarkTable1OffnetScan regenerates Table 1 (§2.2): TLS scans at both
 // epochs + certificate inference. Reported metrics: per-hypergiant footprint
 // growth in percent (paper: Google +23.2, Netflix +37.4, Meta +16.9,
 // Akamai +0.0).
 func BenchmarkTable1OffnetScan(b *testing.B) {
 	var res *Table1Result
+	var tr *obs.Tracer
 	for i := 0; i < b.N; i++ {
 		p := NewPipeline(benchSeed, ScaleTiny)
+		tr = instrument(p)
 		var err error
 		res, err = p.Table1()
 		if err != nil {
@@ -40,6 +69,7 @@ func BenchmarkTable1OffnetScan(b *testing.B) {
 	for _, row := range res.Rows {
 		b.ReportMetric(row.GrowthPct, "growth%/"+row.Hypergiant)
 	}
+	reportStageTimings(b, tr)
 }
 
 // benchColocation builds the shared §3 pipeline once per bench run.
@@ -130,8 +160,10 @@ func BenchmarkFigure2TrafficCCDF(b *testing.B) {
 // consistency percentage (paper: ~97% at ξ=0.1, ~94% at ξ=0.9).
 func BenchmarkValidationRDNS(b *testing.B) {
 	var res *ColocationResult
+	var tr *obs.Tracer
 	for i := 0; i < b.N; i++ {
 		p := NewPipeline(benchSeed, ScaleTiny)
+		tr = instrument(p)
 		var err error
 		res, err = p.Colocation()
 		if err != nil {
@@ -141,6 +173,7 @@ func BenchmarkValidationRDNS(b *testing.B) {
 	for _, v := range res.Validation {
 		b.ReportMetric(100*v.Accuracy, "consistent%/xi="+xiTag(v.Xi))
 	}
+	reportStageTimings(b, tr)
 }
 
 // BenchmarkSec41CovidSpike regenerates the §4.1 lockdown replay. Metrics:
@@ -186,14 +219,17 @@ func BenchmarkSec41Diurnal(b *testing.B) {
 // shares over peers (62.2 via, 42.5 only).
 func BenchmarkSec421PeeringSurvey(b *testing.B) {
 	var res *PeeringSurveyResult
+	var tr *obs.Tracer
 	for i := 0; i < b.N; i++ {
 		p := NewPipeline(benchSeed, ScaleTiny)
+		tr = instrument(p)
 		var err error
 		res, err = p.PeeringSurvey()
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	defer reportStageTimings(b, tr)
 	b.ReportMetric(res.PeerPct(), "peer%")
 	b.ReportMetric(res.PossiblePct(), "possible%")
 	b.ReportMetric(res.NoEvidencePct(), "no-evidence%")
@@ -422,14 +458,17 @@ func BenchmarkAblationPingStat(b *testing.B) {
 // today), Akamai coverage now (partial: allowlisted ECS only).
 func BenchmarkMappingTechnique(b *testing.B) {
 	var res *MappingResult
+	var tr *obs.Tracer
 	for i := 0; i < b.N; i++ {
 		p := NewPipeline(benchSeed, ScaleTiny)
+		tr = instrument(p)
 		var err error
 		res, err = p.MappingStudy()
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	defer reportStageTimings(b, tr)
 	for _, row := range res.Era2013 {
 		if row.Hypergiant == "Google" {
 			b.ReportMetric(row.CoveragePct, "coverage%/Google/2013")
@@ -450,14 +489,17 @@ func BenchmarkMappingTechnique(b *testing.B) {
 // per-hypergiant capacity slices.
 func BenchmarkMitigationIsolation(b *testing.B) {
 	var res *MitigationResult
+	var tr *obs.Tracer
 	for i := 0; i < b.N; i++ {
 		p := NewPipeline(benchSeed, ScaleTiny)
+		tr = instrument(p)
 		var err error
 		res, err = p.MitigationStudy()
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	defer reportStageTimings(b, tr)
 	b.ReportMetric(res.MeanCollateralShared, "collateral-shared")
 	b.ReportMetric(res.MeanCollateralIsolated, "collateral-isolated")
 	b.ReportMetric(res.FullyNeutralizedPct, "neutralized%")
@@ -468,14 +510,17 @@ func BenchmarkMitigationIsolation(b *testing.B) {
 // claim: high at the trough, lower at the peak).
 func BenchmarkSec41Apartments(b *testing.B) {
 	var res *CapacityResult
+	var tr *obs.Tracer
 	for i := 0; i < b.N; i++ {
 		p := NewPipeline(benchSeed, ScaleTiny)
+		tr = instrument(p)
 		var err error
 		res, err = p.CapacityStudy()
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	defer reportStageTimings(b, tr)
 	b.ReportMetric(100*res.Panel.TroughNearby, "nearby%@trough")
 	b.ReportMetric(100*res.Panel.PeakNearby, "nearby%@peak")
 }

@@ -56,15 +56,20 @@ type CapacityResult struct {
 // CapacityStudy runs the offnet/interconnect capacity experiments on the
 // 2023 deployment.
 func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
+	root := p.span("capacity-study")
+	defer root.End()
 	_, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
 	}
+	sp := p.span("capacity-study/build-model")
 	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	sp.End()
 	out := &CapacityResult{}
 
 	// COVID replay per hypergiant; the paper's evidence is the Netflix +58%
 	// lockdown spike.
+	sp = p.span("capacity-study/covid-replay")
 	for _, hg := range traffic.All {
 		rep := capacity.CovidReplay(m, hg, 1.58)
 		out.Covid = append(out.Covid, CovidRow{
@@ -75,7 +80,9 @@ func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
 			OffnetSharePre:    rep.OffnetSharePre,
 		})
 	}
+	sp.End()
 
+	sp = p.span("capacity-study/diurnal-sweep")
 	for _, pt := range capacity.DiurnalSweep(m) {
 		out.Diurnal = append(out.Diurnal, DiurnalRow{
 			Hour: pt.Hour, DemandGbps: pt.Demand,
@@ -83,7 +90,9 @@ func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
 			SpillToShare: pt.SharedSpill,
 		})
 	}
+	sp.End()
 
+	sp = p.span("capacity-study/pni-census")
 	for _, hg := range traffic.All {
 		c := capacity.CensusPNIs(m, hg)
 		out.PNI = append(out.PNI, PNIRow{
@@ -91,9 +100,12 @@ func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
 			MeanExcessPct: c.MeanExcessPct, SeverePct: 100 * c.SevereFraction,
 		})
 	}
+	sp.End()
 
 	// The 530-apartment panel: largest all-four access ISP, falling back to
 	// the largest access host.
+	sp = p.span("capacity-study/apartment-panel")
+	defer sp.End()
 	var panelISP inet.ASN
 	var bestUsers float64
 	for _, as := range d.HostingISPs() {
@@ -118,6 +130,7 @@ func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
 			TroughNearby: summary.TroughNearby,
 			PeakNearby:   summary.PeakNearby,
 		}
+		sp.SetAttr("apartments", summary.Apartments)
 	}
 	return out, nil
 }

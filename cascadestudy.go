@@ -53,13 +53,20 @@ type CascadeScenario struct {
 // CascadeStudy sweeps top-facility failures across every hosting ISP and
 // reports the aggregate correlated-failure statistics plus the worst case.
 func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
+	root := p.span("cascade-study")
+	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
 	}
+	sp := p.span("cascade-study/build-model")
 	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	sp.End()
 	hosts := d.HostingISPs()
+	sp = p.span("cascade-study/facility-sweep")
 	st := cascade.Sweep(m, d, hosts)
+	sp.SetAttr("scenarios", st.Scenarios)
+	sp.End()
 	out := &CascadeResult{
 		Scenarios:          st.Scenarios,
 		MeanHGsPerFailure:  st.MeanHGsPerFailure,
@@ -83,6 +90,8 @@ func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
 		}
 	}
 	if worstScore > 0 {
+		sp = p.span("cascade-study/worst-case-qoe")
+		defer sp.End()
 		sc := cascade.DefaultScenario()
 		sc.SharedHeadroom = 1.1
 		sc.FailFacilities = map[inet.FacilityID]bool{worstFID: true}
@@ -107,6 +116,7 @@ func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
 			CongestedIXPs:     len(rep.CongestedIXPs()),
 			CongestedTransits: len(rep.CongestedTransits()),
 		}
+		sp.SetAttr("collateral_isps", out.Worst.CollateralISPs)
 	}
 	return out, nil
 }
@@ -124,6 +134,10 @@ func qoeRow(q session.QoE) QoERow {
 // PerfectStorm runs the §4.3 worst case on demand: simultaneous surge on
 // every hypergiant plus failure of the N most-colocated facilities.
 func (p *Pipeline) PerfectStorm(failures int, surge float64) (*CascadeScenario, error) {
+	root := p.span("perfect-storm")
+	root.SetAttr("failures", failures)
+	root.SetAttr("surge", surge)
+	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err

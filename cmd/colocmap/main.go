@@ -7,21 +7,23 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"sort"
 
 	"offnetrisk"
+	"offnetrisk/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("colocmap: ")
 	seed := flag.Int64("seed", 42, "world seed")
 	tiny := flag.Bool("tiny", false, "use the miniature test world")
 	large := flag.Bool("large", false, "use the large (paper-sized) world")
 	countries := flag.Int("countries", 10, "Figure 1 rows to print")
 	ccdf := flag.Bool("ccdf", false, "print the full Figure 2 CCDF series")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
+
+	logger := obs.SetupCLI("colocmap", *verbose)
 
 	scale := offnetrisk.ScaleDefault
 	if *tiny {
@@ -31,9 +33,11 @@ func main() {
 		scale = offnetrisk.ScaleLarge
 	}
 	p := offnetrisk.NewPipeline(*seed, scale)
+	logger.Debug("running colocation pipeline", "seed", *seed, "scale", scale.String())
 	res, err := p.Colocation()
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("colocation pipeline failed", "err", err)
+		os.Exit(1)
 	}
 	fmt.Print(res)
 

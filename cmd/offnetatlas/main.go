@@ -9,25 +9,30 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"offnetrisk"
 	"offnetrisk/internal/atlas"
 	"offnetrisk/internal/coloc"
 	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rdns"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("offnetatlas: ")
 	seed := flag.Int64("seed", 42, "world seed")
 	tiny := flag.Bool("tiny", false, "use the miniature test world")
 	large := flag.Bool("large", false, "use the large (paper-sized) world")
 	xi := flag.Float64("xi", 0.9, "OPTICS steepness for the facility clustering")
 	out := flag.String("o", "", "write the atlas CSV here (default: stats only)")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
+
+	logger := obs.SetupCLI("offnetatlas", *verbose)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	scale := offnetrisk.ScaleDefault
 	if *tiny {
@@ -39,12 +44,12 @@ func main() {
 	p := offnetrisk.NewPipeline(*seed, scale)
 	w, d, err := p.World2023()
 	if err != nil {
-		log.Fatal(err)
+		fatal("world build failed", err)
 	}
 
-	log.Print("running latency campaign…")
+	logger.Info("running latency campaign")
 	c := mlab.Measure(d, mlab.Sites(163, *seed), mlab.DefaultConfig(*seed))
-	log.Print("clustering…")
+	logger.Info("clustering")
 	a := coloc.Analyze(w, c, []float64{*xi})
 	ptrs := rdns.Synthesize(d, rdns.DefaultConfig(*seed))
 
@@ -56,14 +61,14 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fatal("cannot create atlas file", err)
 		}
 		if err := atlas.WriteCSV(f, entries); err != nil {
-			log.Fatal(err)
+			fatal("cannot write atlas", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal("cannot close atlas file", err)
 		}
-		log.Printf("wrote %s", *out)
+		logger.Info("atlas written", "path", *out)
 	}
 }

@@ -8,11 +8,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 )
 
 type serverDump struct {
@@ -45,30 +45,36 @@ type dump struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("offnetgen: ")
 	seed := flag.Int64("seed", 42, "world seed")
 	tiny := flag.Bool("tiny", false, "generate the miniature test world")
 	epoch := flag.Int("epoch", 2023, "deployment epoch (2021 or 2023)")
 	summary := flag.Bool("summary", false, "print a short summary instead of JSON")
 	snapshot := flag.Bool("snapshot", false, "emit a loadable world snapshot (inet.RestoreJSON format) instead of the flat dump")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
+
+	logger := obs.SetupCLI("offnetgen", *verbose)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	cfg := inet.DefaultConfig(*seed)
 	if *tiny {
 		cfg = inet.TinyConfig(*seed)
 	}
 	w := inet.Generate(cfg)
+	logger.Debug("world generated", "isps", len(w.ISPs), "facilities", len(w.Facilities))
 	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DefaultDeployConfig(*seed))
 	if err != nil {
-		log.Fatal(err)
+		fatal("deploy failed", err)
 	}
 
 	if *snapshot {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(w); err != nil {
-			log.Fatal(err)
+			fatal("snapshot encode failed", err)
 		}
 		return
 	}
@@ -106,6 +112,6 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		log.Fatal(err)
+		fatal("dump encode failed", err)
 	}
 }

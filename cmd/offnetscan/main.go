@@ -7,24 +7,30 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"offnetrisk"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/offnetmap"
 	"offnetrisk/internal/scan"
 	"offnetrisk/internal/traffic"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("offnetscan: ")
 	seed := flag.Int64("seed", 42, "world seed")
 	tiny := flag.Bool("tiny", false, "use the miniature test world")
 	large := flag.Bool("large", false, "use the large (paper-sized) world")
 	records := flag.String("records", "", "also write the 2023 scan as NDJSON to this file")
 	from := flag.String("from", "", "re-run the 2023 inference over an NDJSON scan dump instead of scanning")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	flag.Parse()
+
+	logger := obs.SetupCLI("offnetscan", *verbose)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	scale := offnetrisk.ScaleDefault
 	if *tiny {
@@ -35,21 +41,31 @@ func main() {
 	}
 	p := offnetrisk.NewPipeline(*seed, scale)
 
+	tr := obs.NewTracer()
+	p.Instrument(tr)
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, tr)
+		if err != nil {
+			fatal("debug endpoint failed to start", err)
+		}
+		logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	}
+
 	if *from != "" {
 		// External-dump mode: parse the NDJSON scan and run the 2023
 		// methodology against this seed's IP-to-AS mapping.
 		f, err := os.Open(*from)
 		if err != nil {
-			log.Fatal(err)
+			fatal("cannot open scan dump", err)
 		}
 		recs, err := scan.ReadNDJSON(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal("cannot parse scan dump", err)
 		}
 		w, _, err := p.World2023()
 		if err != nil {
-			log.Fatal(err)
+			fatal("world build failed", err)
 		}
 		inferred := offnetmap.Infer(w, recs, offnetmap.Rules2023())
 		fmt.Printf("inference over %s (%d records):\n", *from, len(recs))
@@ -59,32 +75,33 @@ func main() {
 		return
 	}
 
+	logger.Debug("running Table 1 pipeline", "seed", *seed, "scale", scale.String())
 	res, err := p.Table1()
 	if err != nil {
-		log.Fatal(err)
+		fatal("Table 1 pipeline failed", err)
 	}
 	fmt.Print(res)
 
 	if *records != "" {
 		_, d, err := p.World2023()
 		if err != nil {
-			log.Fatal(err)
+			fatal("world build failed", err)
 		}
 		recs, err := scan.Simulate(d, scan.DefaultConfig(*seed))
 		if err != nil {
-			log.Fatal(err)
+			fatal("scan simulation failed", err)
 		}
 		f, err := os.Create(*records)
 		if err != nil {
-			log.Fatal(err)
+			fatal("cannot create records file", err)
 		}
 		if err := scan.WriteNDJSON(f, recs); err != nil {
-			log.Fatal(err)
+			fatal("cannot write records", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal("cannot close records file", err)
 		}
-		log.Printf("wrote %d scan records to %s", len(recs), *records)
+		logger.Info("scan records written", "count", len(recs), "path", *records)
 	}
 
 	fmt.Println("\nground truth check (simulation-only capability):")

@@ -4,36 +4,47 @@
 // diurnal sweep.
 //
 //	go run ./cmd/reproduce -out out/
+//
+// Stages run independently: a failing stage is recorded and the remaining
+// stages still run; the command exits non-zero if any stage failed. With
+// -manifest the run writes a JSON provenance document (seed, scale, span
+// tree, metric values); with -debug-addr it serves live /debug/pprof,
+// /debug/vars and /debug/obs pages while running.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"offnetrisk"
 	"offnetrisk/internal/coloc"
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/optics"
 	"offnetrisk/internal/svgplot"
 	"offnetrisk/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("reproduce: ")
 	seed := flag.Int64("seed", 42, "world seed")
 	tiny := flag.Bool("tiny", false, "use the miniature test world")
 	large := flag.Bool("large", false, "use the large (paper-sized) world")
 	outDir := flag.String("out", "out", "output directory")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	logger := obs.SetupCLI("reproduce", *verbose)
+	start := time.Now()
 
 	scale := offnetrisk.ScaleDefault
 	if *tiny {
@@ -43,153 +54,245 @@ func main() {
 		scale = offnetrisk.ScaleLarge
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		log.Fatal(err)
+		logger.Error("cannot create output directory", "dir", *outDir, "err", err)
+		os.Exit(1)
 	}
 
+	tr := obs.NewTracer()
 	p := offnetrisk.NewPipeline(*seed, scale)
+	p.Instrument(tr)
+
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, tr)
+		if err != nil {
+			logger.Error("debug endpoint failed to start", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	}
+
 	var md strings.Builder
 	fmt.Fprintf(&md, "# offnetrisk reproduction report\n\nseed %d, scale %v\n\n", *seed, scale)
 
-	log.Print("running Table 1 pipeline…")
-	t1, err := p.Table1()
-	if err != nil {
-		log.Fatal(err)
+	// Stages run in order; a failure is collected, not fatal, so one broken
+	// experiment still leaves the rest of the report usable.
+	type failure struct {
+		stage string
+		err   error
 	}
-	fmt.Fprintf(&md, "## Table 1 (§2.2)\n\n```\n%s```\n\n", t1)
-
-	log.Print("running colocation pipeline…")
-	col, err := p.Colocation()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## Table 2, Figures 1–2 (§3.2)\n\n```\n%s```\n\n", col)
-	fmt.Fprintf(&md, "![Figure 1](figure1.svg)\n\n![Figure 2](figure2.svg)\n\n")
-
-	// Figure 2 SVG: user-weighted CCDF, both ξ.
-	var fig2 []svgplot.Series
-	for _, xi := range offnetrisk.Xis {
-		s := svgplot.Series{Name: fmt.Sprintf("ξ=%.1f", xi)}
-		for _, pt := range col.Figure2[xi] {
-			s.X = append(s.X, pt.Share)
-			s.Y = append(s.Y, pt.Users)
+	var failures []failure
+	run := func(stage string, fn func() error) {
+		logger.Info("running stage", "stage", stage)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			logger.Error("stage failed", "stage", stage, "err", err)
+			failures = append(failures, failure{stage, err})
+			fmt.Fprintf(&md, "## %s\n\n**stage failed:** `%v`\n\n", stage, err)
+			return
 		}
-		fig2 = append(fig2, s)
+		logger.Debug("stage done", "stage", stage, "elapsed", time.Since(t0).Round(time.Millisecond))
 	}
-	writeFile(*outDir, "figure2.svg", svgplot.StepLines(
-		"Figure 2: CCDF of traffic fraction served from one facility",
-		"estimated fraction of traffic from one facility", "fraction of users", fig2))
-
-	// Figure 1 SVG: one dot per country at its first metro, shaded by the
-	// ≥2-hypergiant user share.
-	var points []svgplot.MapPoint
-	rows := append([]offnetrisk.CountryRow(nil), col.Figure1...)
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Country < rows[j].Country })
-	for _, row := range rows {
-		ms := geo.MetrosIn(row.Country)
-		if len(ms) == 0 {
-			continue
+	writeFile := func(name, content string) error {
+		if err := os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", name, err)
 		}
-		points = append(points, svgplot.MapPoint{
-			LatDeg: ms[0].Loc.LatDeg, LonDeg: ms[0].Loc.LonDeg,
-			Value: row.AtLeast2, Label: row.Country,
+		return nil
+	}
+
+	run("table1", func() error {
+		t1, err := p.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## Table 1 (§2.2)\n\n```\n%s```\n\n", t1)
+		return nil
+	})
+
+	run("colocation", func() error {
+		col, err := p.Colocation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## Table 2, Figures 1–2 (§3.2)\n\n```\n%s```\n\n", col)
+		fmt.Fprintf(&md, "![Figure 1](figure1.svg)\n\n![Figure 2](figure2.svg)\n\n")
+
+		// Figure 2 SVG: user-weighted CCDF, both ξ.
+		var fig2 []svgplot.Series
+		for _, xi := range offnetrisk.Xis {
+			s := svgplot.Series{Name: fmt.Sprintf("ξ=%.1f", xi)}
+			for _, pt := range col.Figure2[xi] {
+				s.X = append(s.X, pt.Share)
+				s.Y = append(s.Y, pt.Users)
+			}
+			fig2 = append(fig2, s)
+		}
+		if err := writeFile("figure2.svg", svgplot.StepLines(
+			"Figure 2: CCDF of traffic fraction served from one facility",
+			"estimated fraction of traffic from one facility", "fraction of users", fig2)); err != nil {
+			return err
+		}
+
+		// Figure 1 SVG: one dot per country at its first metro, shaded by the
+		// ≥2-hypergiant user share.
+		var points []svgplot.MapPoint
+		rows := append([]offnetrisk.CountryRow(nil), col.Figure1...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Country < rows[j].Country })
+		for _, row := range rows {
+			ms := geo.MetrosIn(row.Country)
+			if len(ms) == 0 {
+				continue
+			}
+			points = append(points, svgplot.MapPoint{
+				LatDeg: ms[0].Loc.LatDeg, LonDeg: ms[0].Loc.LonDeg,
+				Value: row.AtLeast2, Label: row.Country,
+			})
+		}
+		return writeFile("figure1.svg", svgplot.WorldMap(
+			"Figure 1a: users in ISPs hosting ≥2 hypergiants", points))
+	})
+
+	run("reachability-plot", func() error {
+		// Reachability plot of the busiest analyzed ISP: the raw material the
+		// ξ extraction works on (the OPTICS paper's signature diagram).
+		reach := reachabilityOf(p)
+		if len(reach) == 0 {
+			return nil
+		}
+		if err := writeFile("reachability.svg", svgplot.Bars(
+			"OPTICS reachability plot (busiest analyzed ISP)",
+			"processing order", "reachability distance (ms)", reach)); err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "![reachability](reachability.svg)\n\n")
+		return nil
+	})
+
+	run("peering-survey", func() error {
+		ps, err := p.PeeringSurvey()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## Peering survey (§4.2.1)\n\n```\n%s```\n\n", ps)
+		return nil
+	})
+
+	run("capacity-study", func() error {
+		cs, err := p.CapacityStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## Capacity (§4.1, §4.2.2)\n\n```\n%s```\n\n![diurnal](diurnal.svg)\n\n", cs)
+
+		var nearby, distant svgplot.Series
+		nearby.Name, distant.Name = "nearby (offnet)", "distant (interdomain)"
+		for _, pt := range cs.Diurnal {
+			nearby.X = append(nearby.X, float64(pt.Hour))
+			nearby.Y = append(nearby.Y, pt.NearbyPct)
+			distant.X = append(distant.X, float64(pt.Hour))
+			distant.Y = append(distant.Y, pt.DistantPct)
+		}
+		return writeFile("diurnal.svg", svgplot.Lines(
+			"§4.1: where traffic is served, by hour", "hour of day", "% of traffic",
+			[]svgplot.Series{nearby, distant}))
+	})
+
+	run("cascade-study", func() error {
+		cas, err := p.CascadeStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## Cascades (§3.3, §4.3)\n\n```\n%s```\n\n", cas)
+		return nil
+	})
+
+	run("mapping-study", func() error {
+		mp, err := p.MappingStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## DNS mapping methodology (§3.2)\n\n```\n%s```\n\n", mp)
+		return nil
+	})
+
+	run("mitigation-study", func() error {
+		mit, err := p.MitigationStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&md, "## Isolation what-if (§6)\n\n```\n%s```\n", mit)
+		return nil
+	})
+
+	run("sensitivity-sweeps", func() error {
+		fmt.Fprintf(&md, "## Sensitivity sweeps (DESIGN.md §5)\n\n```\n")
+		if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
+			fmt.Fprint(&md, r)
+		}
+		if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
+			fmt.Fprint(&md, r)
+		}
+		if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
+			fmt.Fprint(&md, r)
+		}
+		fmt.Fprintf(&md, "```\n\n")
+		return nil
+	})
+
+	var passed, total int
+	run("conformance", func() error {
+		suite, err := p.Conformance()
+		if err != nil {
+			return err
+		}
+		passed, total = suite.Passed(), len(suite.Checks)
+		fmt.Fprintf(&md, "## Conformance against the paper\n\n%s\n", suite.Markdown())
+		return nil
+	})
+
+	run("report", func() error {
+		return writeFile("REPORT.md", md.String())
+	})
+
+	if *manifestPath != "" {
+		run("manifest", func() error {
+			m := obs.BuildManifest("reproduce", *seed, scale.String(), tr, start)
+			if err := m.WriteFile(*manifestPath); err != nil {
+				return err
+			}
+			logger.Info("manifest written", "path", *manifestPath,
+				"stages", m.StageCount(), "metrics", len(m.Metrics))
+			return nil
 		})
 	}
-	writeFile(*outDir, "figure1.svg", svgplot.WorldMap(
-		"Figure 1a: users in ISPs hosting ≥2 hypergiants", points))
 
-	// Reachability plot of the busiest analyzed ISP: the raw material the
-	// ξ extraction works on (the OPTICS paper's signature diagram).
-	if reach := reachabilityOf(p); len(reach) > 0 {
-		writeFile(*outDir, "reachability.svg", svgplot.Bars(
-			"OPTICS reachability plot (busiest analyzed ISP)",
-			"processing order", "reachability distance (ms)", reach))
-		fmt.Fprintf(&md, "![reachability](reachability.svg)\n\n")
+	if len(failures) > 0 {
+		logger.Error("run finished with failures",
+			"failed", len(failures), "elapsed", time.Since(start).Round(time.Millisecond))
+		for _, f := range failures {
+			logger.Error("failed stage", "stage", f.stage, "err", f.err)
+		}
+		os.Exit(1)
 	}
-
-	log.Print("running peering survey…")
-	ps, err := p.PeeringSurvey()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## Peering survey (§4.2.1)\n\n```\n%s```\n\n", ps)
-
-	log.Print("running capacity study…")
-	cs, err := p.CapacityStudy()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## Capacity (§4.1, §4.2.2)\n\n```\n%s```\n\n![diurnal](diurnal.svg)\n\n", cs)
-
-	var nearby, distant svgplot.Series
-	nearby.Name, distant.Name = "nearby (offnet)", "distant (interdomain)"
-	for _, pt := range cs.Diurnal {
-		nearby.X = append(nearby.X, float64(pt.Hour))
-		nearby.Y = append(nearby.Y, pt.NearbyPct)
-		distant.X = append(distant.X, float64(pt.Hour))
-		distant.Y = append(distant.Y, pt.DistantPct)
-	}
-	writeFile(*outDir, "diurnal.svg", svgplot.Lines(
-		"§4.1: where traffic is served, by hour", "hour of day", "% of traffic",
-		[]svgplot.Series{nearby, distant}))
-
-	log.Print("running cascade study…")
-	cas, err := p.CascadeStudy()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## Cascades (§3.3, §4.3)\n\n```\n%s```\n\n", cas)
-
-	log.Print("running mapping study…")
-	mp, err := p.MappingStudy()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## DNS mapping methodology (§3.2)\n\n```\n%s```\n\n", mp)
-
-	log.Print("running mitigation study…")
-	mit, err := p.MitigationStudy()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## Isolation what-if (§6)\n\n```\n%s```\n", mit)
-
-	log.Print("running sensitivity sweeps…")
-	fmt.Fprintf(&md, "## Sensitivity sweeps (DESIGN.md §5)\n\n```\n")
-	if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
-		fmt.Fprint(&md, r)
-	}
-	if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
-		fmt.Fprint(&md, r)
-	}
-	if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
-		fmt.Fprint(&md, r)
-	}
-	fmt.Fprintf(&md, "```\n\n")
-
-	log.Print("scoring against the paper…")
-	suite, err := p.Conformance()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(&md, "## Conformance against the paper\n\n%s\n", suite.Markdown())
-
-	writeFile(*outDir, "REPORT.md", md.String())
-	log.Printf("report written to %s (%d/%d conformance checks passed)",
-		filepath.Join(*outDir, "REPORT.md"), suite.Passed(), len(suite.Checks))
+	logger.Info("report written",
+		"path", filepath.Join(*outDir, "REPORT.md"),
+		"conformance", fmt.Sprintf("%d/%d", passed, total),
+		"elapsed", time.Since(start).Round(time.Millisecond))
 }
 
 // reachabilityOf recomputes the OPTICS ordering for the ISP with the most
 // measured offnets and returns its reachability values.
 func reachabilityOf(p *offnetrisk.Pipeline) []float64 {
-	w, d, err := p.World2023()
+	_, d, err := p.World2023()
 	if err != nil {
 		return nil
 	}
 	c := mlab.Measure(d, mlab.Sites(163, p.Seed), mlab.DefaultConfig(p.Seed))
 	var bestAS inet.ASN
 	best := 0
+	// Tie-break on the lowest ASN: map iteration order would otherwise pick
+	// a different ISP across runs of the same seed.
 	for as, ms := range c.ByISP {
-		if len(ms) > best {
+		if len(ms) > best || (len(ms) == best && best > 0 && as < bestAS) {
 			best, bestAS = len(ms), as
 		}
 	}
@@ -199,12 +302,5 @@ func reachabilityOf(p *offnetrisk.Pipeline) []float64 {
 	ms := c.ByISP[bestAS]
 	dm := coloc.DistanceMatrix(ms, c.GoodSites[bestAS], coloc.DiscrepancyExclusion)
 	res := optics.Run(len(ms), func(i, j int) float64 { return dm[i][j] }, 2, math.Inf(1))
-	_ = w
 	return res.Reach
-}
-
-func writeFile(dir, name, content string) {
-	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-		log.Fatal(err)
-	}
 }

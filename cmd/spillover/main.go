@@ -6,17 +6,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"offnetrisk"
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/cascade"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("spillover: ")
 	seed := flag.Int64("seed", 42, "world seed")
 	tiny := flag.Bool("tiny", false, "use the miniature test world")
 	large := flag.Bool("large", false, "use the large (paper-sized) world")
@@ -24,7 +23,15 @@ func main() {
 	mitigate := flag.Bool("mitigate", false, "also run the §6 isolation what-if")
 	risk := flag.Bool("risk", false, "also run the Monte Carlo colocation-risk ablation")
 	sweeps := flag.Bool("sweeps", false, "also run the parameter sensitivity sweeps")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	flag.Parse()
+
+	logger := obs.SetupCLI("spillover", *verbose)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	scale := offnetrisk.ScaleDefault
 	if *tiny {
@@ -35,30 +42,43 @@ func main() {
 	}
 	p := offnetrisk.NewPipeline(*seed, scale)
 
+	tr := obs.NewTracer()
+	p.Instrument(tr)
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, tr)
+		if err != nil {
+			fatal("debug endpoint failed to start", err)
+		}
+		logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	}
+
+	logger.Debug("running peering survey", "seed", *seed, "scale", scale.String())
 	ps, err := p.PeeringSurvey()
 	if err != nil {
-		log.Fatal(err)
+		fatal("peering survey failed", err)
 	}
 	fmt.Print(ps)
 	fmt.Println()
 
+	logger.Debug("running capacity study")
 	cap, err := p.CapacityStudy()
 	if err != nil {
-		log.Fatal(err)
+		fatal("capacity study failed", err)
 	}
 	fmt.Print(cap)
 	fmt.Println()
 
+	logger.Debug("running cascade study")
 	cas, err := p.CascadeStudy()
 	if err != nil {
-		log.Fatal(err)
+		fatal("cascade study failed", err)
 	}
 	fmt.Print(cas)
 
 	if *mitigate {
 		mit, err := p.MitigationStudy()
 		if err != nil {
-			log.Fatal(err)
+			fatal("mitigation study failed", err)
 		}
 		fmt.Println()
 		fmt.Print(mit)
@@ -67,7 +87,7 @@ func main() {
 	if *risk {
 		w, d, err := p.World2023()
 		if err != nil {
-			log.Fatal(err)
+			fatal("world build failed", err)
 		}
 		decol := cascade.Decolocate(d)
 		mCol := capacity.Build(d, capacity.DefaultConfig(*seed))
@@ -83,28 +103,30 @@ func main() {
 	}
 
 	if *sweeps {
+		// Interactive use gets the timed rendering (wall-clock per sweep
+		// point, from the sweep's spans); REPORT.md keeps the untimed one.
 		fmt.Println()
 		if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
-			fmt.Print(r)
+			fmt.Print(r.TimedString())
 		} else {
-			log.Fatal(err)
+			fatal("colocation-propensity sweep failed", err)
 		}
 		if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
-			fmt.Print(r)
+			fmt.Print(r.TimedString())
 		} else {
-			log.Fatal(err)
+			fatal("shared-headroom sweep failed", err)
 		}
 		if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
-			fmt.Print(r)
+			fmt.Print(r.TimedString())
 		} else {
-			log.Fatal(err)
+			fatal("demand-spike sweep failed", err)
 		}
 	}
 
 	if *storm {
 		sc, err := p.PerfectStorm(12, 1.5)
 		if err != nil {
-			log.Fatal(err)
+			fatal("perfect storm failed", err)
 		}
 		fmt.Printf("\nperfect storm (12 facilities down, +50%% surge on all hypergiants):\n")
 		fmt.Printf("  %s at %s; direct users %.1fM; collateral: %d ISPs / %.1fM users; congested: %d IXPs, %d transits\n",

@@ -86,14 +86,24 @@ type ColocationResult struct {
 // campaign from 163 vantage points, per-ISP OPTICS clustering at both ξ,
 // Table 2 bucketing, Figure 1/2 aggregation, and the rDNS validation.
 func (p *Pipeline) Colocation() (*ColocationResult, error) {
+	root := p.span("colocation")
+	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
 	}
+	sp := p.span("colocation/ping-campaign")
 	sites := mlab.Sites(163, p.Seed)
 	campaign := mlab.Measure(d, sites, mlab.DefaultConfig(p.Seed))
+	sp.SetAttr("measured_isps", campaign.MeasuredISPs)
+	sp.SetAttr("unresponsive", campaign.Unresponsive)
+	sp.End()
+	sp = p.span("colocation/optics-cluster")
 	analysis := coloc.Analyze(w, campaign, Xis)
+	sp.SetAttr("isps_clustered", len(analysis.PerISP))
+	sp.End()
 
+	sp = p.span("colocation/aggregate")
 	out := &ColocationResult{
 		Figure2:        make(map[float64][]Figure2Point),
 		UserShare25Pct: make(map[float64]float64),
@@ -150,7 +160,12 @@ func (p *Pipeline) Colocation() (*ColocationResult, error) {
 		}
 	}
 
+	sp.SetAttr("countries", len(out.Figure1))
+	sp.End()
+
 	// §3.2 validation against synthesized PTR records.
+	sp = p.span("colocation/rdns-validate")
+	defer sp.End()
 	ptrs := rdns.Synthesize(d, rdns.DefaultConfig(p.Seed))
 	for _, xi := range Xis {
 		clusters := make(map[string][][]netaddr.Addr)

@@ -13,6 +13,8 @@ import (
 // synthetic substrate's variance while rejecting direction or ordering
 // violations — the standard DESIGN.md §4 sets for "reproduced".
 func (p *Pipeline) Conformance() (*report.Suite, error) {
+	root := p.span("conformance")
+	defer root.End()
 	s := &report.Suite{}
 
 	// ---- Table 1 (§2.2) -------------------------------------------------
@@ -151,6 +153,8 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 	// The sweeps rebuild tiny worlds internally regardless of the pipeline
 	// scale: the directions under test are scale-independent and the full
 	// sweep at large scale would dominate the suite's runtime.
+	sp := p.span("conformance/sensitivity-sweeps")
+	defer sp.End()
 	if prop, err := sweeppkg.ColocationPropensity(p.Seed, []float64{0.4, 0.9}); err == nil && len(prop.Points) == 2 {
 		s.AddBool("Sweep/propensity-direction",
 			"more colocation propensity → more correlated failures",
@@ -162,6 +166,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 			hr.Points[1].Metrics["congesting-frac"] <= hr.Points[0].Metrics["congesting-frac"])
 	}
 
+	root.SetAttr("checks", len(s.Checks))
 	return s, nil
 }
 

@@ -16,8 +16,18 @@ import (
 
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
 	"offnetrisk/internal/traffic"
+)
+
+var (
+	mModelsBuilt = obs.NewCounter("capacity.models_built",
+		"capacity models derived from deployments")
+	mFlowsServed = obs.NewCounter("capacity.flows_served",
+		"per-(hypergiant,ISP) flows resolved by the serving model")
+	mSitesTracked = obs.NewGauge("capacity.sites_tracked",
+		"offnet sites in the most recently built capacity model")
 )
 
 // Config tunes the capacity model.
@@ -157,6 +167,12 @@ func Build(d *hypergiant.Deployment, cfg Config) *Model {
 			m.IXPIDOf[p.HG][p.ISP] = p.IXP
 		}
 	}
+	mModelsBuilt.Inc()
+	sites := 0
+	for _, hg := range traffic.All {
+		sites += len(m.Sites[hg]) + len(m.Upstream[hg])
+	}
+	mSitesTracked.Set(float64(sites))
 	return m
 }
 
@@ -287,5 +303,6 @@ func (m *Model) serve(mult float64, scale map[traffic.HG]float64, failedFaciliti
 			})
 		}
 	}
+	mFlowsServed.Add(int64(len(flows)))
 	return flows
 }

@@ -13,8 +13,12 @@ import (
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/traffic"
 )
+
+var mScenariosSimulated = obs.NewCounter("cascade.scenarios_simulated",
+	"failure/surge scenarios run through the spillover simulator")
 
 // Scenario describes one what-if.
 type Scenario struct {
@@ -106,6 +110,7 @@ func (r *Report) CongestedTransits() []inet.ASN {
 // removed, aggregate spill onto shared links, size those links from the
 // baseline (no-failure) loads, and trace the collateral damage.
 func Simulate(m *capacity.Model, d *hypergiant.Deployment, sc Scenario) *Report {
+	mScenariosSimulated.Inc()
 	if sc.DemandMult <= 0 {
 		sc.DemandMult = 1.0
 	}

@@ -11,9 +11,17 @@ import (
 
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/optics"
 	"offnetrisk/internal/stats"
 	"offnetrisk/internal/traffic"
+)
+
+var (
+	mISPsAnalyzed = obs.NewCounter("coloc.isps_analyzed",
+		"ISPs put through the per-ISP OPTICS clustering")
+	mDistancesComputed = obs.NewCounter("coloc.distances_computed",
+		"pairwise latency-vector distances computed")
 )
 
 // MeanTrafficHHI returns the user-weighted mean facility-traffic
@@ -80,6 +88,7 @@ func DistanceMatrix(ms []*mlab.Measurement, sites []int, exclude float64) [][]fl
 			m[i][j], m[j][i] = d, d
 		}
 	}
+	mDistancesComputed.Add(int64(n * (n - 1) / 2))
 	return m
 }
 
@@ -124,6 +133,7 @@ type Analysis struct {
 // paper's n_min = 2.
 func Analyze(w *inet.World, c *mlab.Campaign, xis []float64) *Analysis {
 	a := &Analysis{Xis: xis, PerISP: make(map[inet.ASN]*ISPResult)}
+	mISPsAnalyzed.Add(int64(len(c.ByISP)))
 	for as, ms := range c.ByISP {
 		sites := c.GoodSites[as]
 		dm := DistanceMatrix(ms, sites, DiscrepancyExclusion)

@@ -7,7 +7,15 @@ import (
 
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
+)
+
+var (
+	mWorldsGenerated = obs.NewCounter("inet.worlds_generated",
+		"synthetic Internets generated")
+	mISPsGenerated = obs.NewCounter("inet.isps_generated",
+		"ISPs generated across all worlds")
 )
 
 // ASN ranges per role; content ASes (hypergiants) are added later via
@@ -50,6 +58,8 @@ func Generate(cfg Config) *World {
 	w.genIXPs(cfg, r)
 	w.genTransits(cfg, r, countries, countryWeight)
 	w.genAccess(cfg, r, countries, countryWeight)
+	mWorldsGenerated.Inc()
+	mISPsGenerated.Add(int64(len(w.ISPs)))
 	return w
 }
 

@@ -20,7 +20,24 @@ import (
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
+)
+
+// Campaign accounting metrics (Appendix A). Counters are cumulative over the
+// process; the run manifest snapshots them per run.
+var (
+	mRTTsMeasured = obs.NewCounter("ping.rtts_measured",
+		"per-(site,target) RTT summaries kept by the campaign")
+	mUnresponsive = obs.NewCounter("ping.targets_unresponsive",
+		"offnet targets discarded as unresponsive")
+	mImpossible = obs.NewCounter("ping.targets_impossible",
+		"targets discarded for speed-of-light violations")
+	mISPsGated = obs.NewCounter("ping.isps_gated",
+		"ISPs discarded by the minimum-usable-sites gate")
+	mRTTHist = obs.NewHistogram("ping.rtt_ms",
+		"distribution of kept RTT summaries in milliseconds",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500})
 )
 
 // Site is one measurement vantage point.
@@ -136,6 +153,7 @@ func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
 	for _, s := range d.Servers {
 		if !s.Responsive {
 			c.Unresponsive++
+			mUnresponsive.Inc()
 			continue
 		}
 		if !s.Anycast {
@@ -146,7 +164,14 @@ func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
 		m := measureServer(w, s, sites, cfg, baseCache[s.Facility])
 		if violatesSpeedOfLight(m.RTTms, sites) {
 			c.Impossible++
+			mImpossible.Inc()
 			continue
+		}
+		for _, rtt := range m.RTTms {
+			if !math.IsNaN(rtt) {
+				mRTTsMeasured.Inc()
+				mRTTHist.Observe(rtt)
+			}
 		}
 		perISP[s.ISP] = append(perISP[s.ISP], m)
 		c.TotalMeasured++
@@ -169,6 +194,7 @@ func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
 		}
 		if len(good) < cfg.MinSites {
 			c.GatedISPs++
+			mISPsGated.Inc()
 			continue
 		}
 		c.ByISP[as] = ms

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"html"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// ServeDebug starts the opt-in debug endpoint on addr (e.g. "localhost:6060")
+// and returns the bound address. It serves:
+//
+//	/debug/pprof/   — the full net/http/pprof suite
+//	/debug/vars     — expvar, including the offnetrisk metrics registry
+//	/debug/obs      — a live HTML span/progress + metrics page
+//
+// The tracer may be nil (the page then shows metrics only). The server runs
+// until the process exits; errors after startup are dropped, matching the
+// endpoint's diagnostic-only role.
+func ServeDebug(addr string, tr *Tracer) (string, error) {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	start := time.Now()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		writeObsPage(w, tr, start)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/debug/obs", http.StatusFound)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+// writeObsPage renders the live span tree and metric values. It refreshes
+// itself every 2 s so a running pipeline reads as a progress page.
+func writeObsPage(w http.ResponseWriter, tr *Tracer, start time.Time) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><meta http-equiv="refresh" content="2">`)
+	fmt.Fprint(w, `<title>offnetrisk /debug/obs</title><style>
+body{font-family:monospace;margin:2em}table{border-collapse:collapse}
+td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
+.open{color:#b50}.done{color:#060}</style>`)
+	fmt.Fprintf(w, "<h1>offnetrisk run — up %s</h1>", time.Since(start).Round(time.Millisecond))
+
+	fmt.Fprint(w, "<h2>stages</h2>")
+	spans := tr.Snapshot(start)
+	if len(spans) == 0 {
+		fmt.Fprint(w, "<p>no spans recorded (tracer disabled or run not started)</p>")
+	} else {
+		fmt.Fprint(w, "<table><tr><th>stage</th><th>state</th><th>ms</th><th>alloc</th></tr>")
+		for _, s := range spans {
+			writeSpanRows(w, s, 0)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	fmt.Fprint(w, "<h2>metrics</h2><table><tr><th>name</th><th>type</th><th>value</th></tr>")
+	snap := Default.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := snap[n]
+		val := fmt.Sprintf("%.6g", m.Value)
+		if m.Type == "histogram" {
+			val = fmt.Sprintf("n=%d sum=%.6g", m.Count, m.Value)
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>",
+			html.EscapeString(n), m.Type, val)
+	}
+	fmt.Fprint(w, "</table><p><a href='/debug/pprof/'>pprof</a> · <a href='/debug/vars'>expvar</a></p>")
+}
+
+func writeSpanRows(w http.ResponseWriter, s SpanSnapshot, depth int) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "&nbsp;&nbsp;"
+	}
+	state, class := "running", "open"
+	if s.Ended {
+		state, class = "done", "done"
+	}
+	fmt.Fprintf(w, "<tr><td>%s%s</td><td class=%q>%s</td><td>%.1f</td><td>%dB</td></tr>",
+		indent, html.EscapeString(s.Name), class, state, s.DurMS, s.AllocBytes)
+	for _, c := range s.Children {
+		writeSpanRows(w, c, depth+1)
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+)
+
+// SetupCLI installs the shared slog handler every cmd/* binary uses: text
+// format on stderr, bare messages (no timestamps — CLI output must be
+// reproducible), the command name as a constant "cmd" attribute, and Debug
+// level when verbose. It returns the logger and also makes it the slog
+// default so library code logging via slog inherits it.
+func SetupCLI(cmd string, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			// Drop the wall-clock attr: run logs should diff cleanly.
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	l := slog.New(h).With("cmd", cmd)
+	slog.SetDefault(l)
+	return l
+}

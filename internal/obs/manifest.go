@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest is the provenance record of one pipeline run: what ran, on what
+// substrate, where the time and allocations went, and what the metrics
+// counted. REPORT.md runs and benchmark trajectories attach this document so
+// every number carries its origin.
+type Manifest struct {
+	Tool      string `json:"tool"`
+	Seed      int64  `json:"seed"`
+	Scale     string `json:"scale"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// StartedAt/WallMS describe the run itself, not the experiments: they
+	// vary run to run and are excluded from determinism comparisons.
+	StartedAt string                 `json:"started_at,omitempty"`
+	WallMS    float64                `json:"wall_ms"`
+	Stages    []SpanSnapshot         `json:"stages"`
+	Metrics   map[string]MetricValue `json:"metrics"`
+}
+
+// BuildManifest assembles a manifest from a finished (or in-flight) tracer
+// and the Default metrics registry. start anchors stage offsets and WallMS;
+// pass the time the run began.
+func BuildManifest(tool string, seed int64, scale string, tr *Tracer, start time.Time) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Seed:      seed,
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Stages:    tr.Snapshot(start),
+		Metrics:   Default.Snapshot(),
+	}
+	if !start.IsZero() {
+		m.StartedAt = start.UTC().Format(time.RFC3339)
+		m.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	return m
+}
+
+// StageCount returns the number of named stages in the manifest's span tree.
+func (m *Manifest) StageCount() int { return StageCount(m.Stages) }
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

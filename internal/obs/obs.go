@@ -1,0 +1,251 @@
+// Package obs is the reproduction's stdlib-only observability layer: a
+// nesting span tracer for per-stage wall time and allocation accounting, a
+// process-wide metrics registry (counters, gauges, fixed-bucket histograms)
+// exported via expvar, run manifests carrying provenance for every pipeline
+// run, and an opt-in HTTP debug endpoint serving pprof, expvar, and a live
+// span/progress page.
+//
+// Instrumentation is zero-cost when disabled: a nil *Tracer hands out nil
+// *Span values whose methods are all no-ops, and metrics are single atomic
+// operations. Nothing in this package draws randomness or feeds back into
+// experiment results, so equal seeds reproduce identical results bit for bit
+// with observability on or off.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracer collects a forest of spans for one run. The zero value is NOT
+// ready; use NewTracer. A nil *Tracer is the disabled tracer: Start returns
+// a nil span and no state is kept.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+	// cur is the innermost span that has been started but not ended;
+	// Start nests new spans under it. Pipeline stages run sequentially, so
+	// a single cursor reproduces the call tree.
+	cur *Span
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a span. If another span is open, the new span becomes its
+// child; otherwise it is a root. Safe on a nil tracer (returns nil).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &Span{
+		tracer:       t,
+		name:         name,
+		start:        time.Now(),
+		startAllocs:  ms.TotalAlloc,
+		startMallocs: ms.Mallocs,
+	}
+	t.mu.Lock()
+	s.parent = t.cur
+	if s.parent != nil {
+		s.parent.children = append(s.parent.children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	t.cur = s
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the root spans recorded so far.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed stage. All methods are safe on a nil receiver, so
+// instrumented code never checks whether tracing is enabled.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	start  time.Time
+
+	startAllocs  uint64
+	startMallocs uint64
+
+	mu       sync.Mutex
+	children []*Span
+	attrs    []Attr
+	dur      time.Duration
+	allocB   uint64
+	mallocs  uint64
+	ended    bool
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Name returns the span name ("" for nil spans).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Child opens a nested span without touching the tracer cursor — for code
+// that holds its parent span explicitly (e.g. parallel stages).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c := &Span{
+		tracer:       s.tracer,
+		parent:       s,
+		name:         name,
+		start:        time.Now(),
+		startAllocs:  ms.TotalAlloc,
+		startMallocs: ms.Mallocs,
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, recording its duration and allocation delta. Ending
+// twice is a no-op. If the span is the tracer's cursor, the cursor pops back
+// to its parent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.allocB = ms.TotalAlloc - s.startAllocs
+	s.mallocs = ms.Mallocs - s.startMallocs
+	s.mu.Unlock()
+
+	if t := s.tracer; t != nil {
+		t.mu.Lock()
+		// Pop the cursor past this span even if children were left open.
+		for c := t.cur; c != nil; c = c.parent {
+			if c == s {
+				t.cur = s.parent
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Elapsed returns the recorded duration for ended spans, or the live
+// duration for open ones.
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanSnapshot is an immutable copy of a span subtree, used by the manifest
+// and the live debug page.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"` // offset from the snapshot origin
+	DurMS      float64        `json:"dur_ms"`
+	Ended      bool           `json:"ended"`
+	AllocBytes uint64         `json:"alloc_bytes"`
+	Mallocs    uint64         `json:"mallocs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the span forest. origin anchors StartMS; pass the run's
+// start time (or the zero time to anchor at the first root span).
+func (t *Tracer) Snapshot(origin time.Time) []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	roots := t.Roots()
+	if origin.IsZero() && len(roots) > 0 {
+		origin = roots[0].start
+	}
+	out := make([]SpanSnapshot, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.snapshot(origin))
+	}
+	return out
+}
+
+func (s *Span) snapshot(origin time.Time) SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:       s.name,
+		StartMS:    float64(s.start.Sub(origin)) / float64(time.Millisecond),
+		Ended:      s.ended,
+		AllocBytes: s.allocB,
+		Mallocs:    s.mallocs,
+	}
+	if s.ended {
+		snap.DurMS = float64(s.dur) / float64(time.Millisecond)
+	} else {
+		snap.DurMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			snap.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot(origin))
+	}
+	return snap
+}
+
+// StageCount returns the total number of named spans in the forest.
+func StageCount(spans []SpanSnapshot) int {
+	n := 0
+	for _, s := range spans {
+		n += 1 + StageCount(s.Children)
+	}
+	return n
+}

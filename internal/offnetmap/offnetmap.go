@@ -18,9 +18,15 @@ import (
 	"offnetrisk/internal/cert"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/scan"
 	"offnetrisk/internal/traffic"
 )
+
+// The classification step of the TLS-scan pipeline lives here, so the
+// "scan." metric namespace is shared between the two packages.
+var mCertsClassified = obs.NewCounter("scan.certs_classified",
+	"scan records classified against the offnet inference rules")
 
 // Rule decides whether a certificate belongs to a hypergiant.
 type Rule struct {
@@ -179,6 +185,7 @@ func (res *Result) AddrsOf(hg traffic.HG) []netaddr.Addr {
 // that AS. Unrouted addresses are skipped (the real pipeline requires an
 // IP-to-AS mapping hit).
 func Infer(w *inet.World, records []scan.Record, rules []Rule) *Result {
+	mCertsClassified.Add(int64(len(records)))
 	res := &Result{ISPs: make(map[traffic.HG]map[inet.ASN]bool)}
 	for _, rule := range rules {
 		if res.ISPs[rule.HG] == nil {

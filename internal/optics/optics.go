@@ -14,6 +14,15 @@ package optics
 import (
 	"math"
 	"sort"
+
+	"offnetrisk/internal/obs"
+)
+
+var (
+	mRunsTotal = obs.NewCounter("optics.runs_total",
+		"OPTICS orderings computed")
+	mPointsClustered = obs.NewCounter("optics.points_clustered",
+		"points put through the OPTICS ordering")
 )
 
 // DistFunc returns the distance between points i and j. It must be
@@ -37,6 +46,8 @@ func Run(n int, dist DistFunc, minPts int, eps float64) *Result {
 	if n <= 0 {
 		return &Result{}
 	}
+	mRunsTotal.Inc()
+	mPointsClustered.Add(int64(n))
 	if minPts < 2 {
 		minPts = 2
 	}

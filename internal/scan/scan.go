@@ -15,8 +15,12 @@ import (
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
 )
+
+var mRecordsSimulated = obs.NewCounter("scan.records_simulated",
+	"TLS scan records produced over the synthetic Internet")
 
 // Record is one scan observation: an address presenting a certificate on
 // port 443.
@@ -92,6 +96,7 @@ func Simulate(d *hypergiant.Deployment, cfg Config) ([]Record, error) {
 	}
 
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	mRecordsSimulated.Add(int64(len(out)))
 	return out, nil
 }
 

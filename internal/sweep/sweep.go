@@ -11,6 +11,7 @@ import (
 	"offnetrisk/internal/cascade"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/traffic"
 )
 
@@ -18,6 +19,11 @@ import (
 type Point struct {
 	Param   float64
 	Metrics map[string]float64
+	// ElapsedMS is the wall-clock cost of computing this point, recorded from
+	// the sweep's span tracer. It is excluded from String() so the default
+	// rendering (used in REPORT.md and conformance) stays deterministic;
+	// TimedString() includes it.
+	ElapsedMS float64
 }
 
 // Result is a named sweep.
@@ -27,8 +33,19 @@ type Result struct {
 	Points []Point
 }
 
-// String renders the sweep as an aligned table.
+// String renders the sweep as an aligned table. Timing is deliberately
+// omitted: this rendering feeds REPORT.md and must be identical across runs
+// of the same seed.
 func (r Result) String() string {
+	return r.render(false)
+}
+
+// TimedString is String plus a wall-clock column per point.
+func (r Result) TimedString() string {
+	return r.render(true)
+}
+
+func (r Result) render(timed bool) string {
 	out := fmt.Sprintf("sweep %s over %s:\n", r.Name, r.Param)
 	if len(r.Points) == 0 {
 		return out
@@ -38,15 +55,31 @@ func (r Result) String() string {
 	for _, k := range keys {
 		header += fmt.Sprintf(" %18s", k)
 	}
+	if timed {
+		header += fmt.Sprintf(" %10s", "wall(ms)")
+	}
 	out += header + "\n"
 	for _, p := range r.Points {
 		row := fmt.Sprintf("%10.2f", p.Param)
 		for _, k := range keys {
 			row += fmt.Sprintf(" %18.3f", p.Metrics[k])
 		}
+		if timed {
+			row += fmt.Sprintf(" %10.2f", p.ElapsedMS)
+		}
 		out += row + "\n"
 	}
 	return out
+}
+
+// timePoint runs fn under a span on the sweep's tracer and stamps the point's
+// ElapsedMS from the span.
+func timePoint(tr *obs.Tracer, name string, pt *Point, fn func() error) error {
+	sp := tr.Start(name)
+	err := fn()
+	sp.End()
+	pt.ElapsedMS = float64(sp.Elapsed().Nanoseconds()) / 1e6
+	return err
 }
 
 func sortedKeys(m map[string]float64) []string {
@@ -68,36 +101,44 @@ func sortedKeys(m map[string]float64) []string {
 // story.
 func ColocationPropensity(seed int64, values []float64) (Result, error) {
 	res := Result{Name: "colocation-propensity", Param: "propensity"}
+	tr := obs.NewTracer()
 	for _, v := range values {
-		w := inet.Generate(inet.TinyConfig(seed))
-		cfg := hypergiant.DefaultDeployConfig(seed)
-		cfg.ColocationPropensity = v
-		d, err := hypergiant.Deploy(w, hypergiant.Epoch2023, cfg)
+		point := Point{Param: v}
+		err := timePoint(tr, fmt.Sprintf("propensity=%g", v), &point, func() error {
+			w := inet.Generate(inet.TinyConfig(seed))
+			cfg := hypergiant.DefaultDeployConfig(seed)
+			cfg.ColocationPropensity = v
+			d, err := hypergiant.Deploy(w, hypergiant.Epoch2023, cfg)
+			if err != nil {
+				return fmt.Errorf("sweep: propensity %v: %w", v, err)
+			}
+
+			// Ground-truth share of multi-HG ISPs whose top facility hosts
+			// ALL their hypergiants (full concentration), plus the mean HGs
+			// hit by a top-facility failure.
+			var multi, allAtTop int
+			for _, as := range d.HostingISPs() {
+				hgs := len(d.HGsIn(as))
+				if hgs < 2 {
+					continue
+				}
+				multi++
+				if _, top := cascade.TopFacility(d, as); top == hgs {
+					allAtTop++
+				}
+			}
+			m := capacity.Build(d, capacity.DefaultConfig(seed))
+			st := cascade.Sweep(m, d, d.HostingISPs())
+
+			point.Metrics = map[string]float64{
+				"all-at-top-frac": frac(allAtTop, multi),
+				"hg-per-failure":  st.MeanHGsPerFailure,
+			}
+			return nil
+		})
 		if err != nil {
-			return res, fmt.Errorf("sweep: propensity %v: %w", v, err)
+			return res, err
 		}
-
-		// Ground-truth share of multi-HG ISPs whose top facility hosts ALL
-		// their hypergiants (full concentration), plus the mean HGs hit by
-		// a top-facility failure.
-		var multi, allAtTop int
-		for _, as := range d.HostingISPs() {
-			hgs := len(d.HGsIn(as))
-			if hgs < 2 {
-				continue
-			}
-			multi++
-			if _, top := cascade.TopFacility(d, as); top == hgs {
-				allAtTop++
-			}
-		}
-		m := capacity.Build(d, capacity.DefaultConfig(seed))
-		st := cascade.Sweep(m, d, d.HostingISPs())
-
-		point := Point{Param: v, Metrics: map[string]float64{
-			"all-at-top-frac": frac(allAtTop, multi),
-			"hg-per-failure":  st.MeanHGsPerFailure,
-		}}
 		res.Points = append(res.Points, point)
 	}
 	return res, nil
@@ -115,28 +156,34 @@ func SharedHeadroom(seed int64, values []float64) (Result, error) {
 	}
 	m := capacity.Build(d, capacity.DefaultConfig(seed))
 	hosts := d.HostingISPs()
+	tr := obs.NewTracer()
 	for _, v := range values {
-		var congested, scenarios int
-		var collateral float64
-		for _, as := range hosts {
-			fid, n := cascade.TopFacility(d, as)
-			if n <= 0 {
-				continue
+		point := Point{Param: v}
+		_ = timePoint(tr, fmt.Sprintf("headroom=%g", v), &point, func() error {
+			var congested, scenarios int
+			var collateral float64
+			for _, as := range hosts {
+				fid, n := cascade.TopFacility(d, as)
+				if n <= 0 {
+					continue
+				}
+				sc := cascade.DefaultScenario()
+				sc.SharedHeadroom = v
+				sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
+				rep := cascade.Simulate(m, d, sc)
+				scenarios++
+				if len(rep.CongestedIXPs())+len(rep.CongestedTransits()) > 0 {
+					congested++
+				}
+				collateral += float64(len(rep.CollateralISPs))
 			}
-			sc := cascade.DefaultScenario()
-			sc.SharedHeadroom = v
-			sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
-			rep := cascade.Simulate(m, d, sc)
-			scenarios++
-			if len(rep.CongestedIXPs())+len(rep.CongestedTransits()) > 0 {
-				congested++
+			point.Metrics = map[string]float64{
+				"congesting-frac": frac(congested, scenarios),
+				"collateral-isps": collateral / float64(max(scenarios, 1)),
 			}
-			collateral += float64(len(rep.CollateralISPs))
-		}
-		res.Points = append(res.Points, Point{Param: v, Metrics: map[string]float64{
-			"congesting-frac": frac(congested, scenarios),
-			"collateral-isps": collateral / float64(max(scenarios, 1)),
-		}})
+			return nil
+		})
+		res.Points = append(res.Points, point)
 	}
 	return res, nil
 }
@@ -152,12 +199,18 @@ func DemandSpike(seed int64, values []float64) (Result, error) {
 		return res, err
 	}
 	m := capacity.Build(d, capacity.DefaultConfig(seed))
+	tr := obs.NewTracer()
 	for _, v := range values {
-		rep := capacity.CovidReplay(m, traffic.Netflix, v)
-		res.Points = append(res.Points, Point{Param: v, Metrics: map[string]float64{
-			"offnet-growth":      rep.OffnetGrowth(),
-			"interdomain-growth": rep.InterdomainGrowth(),
-		}})
+		point := Point{Param: v}
+		_ = timePoint(tr, fmt.Sprintf("multiplier=%g", v), &point, func() error {
+			rep := capacity.CovidReplay(m, traffic.Netflix, v)
+			point.Metrics = map[string]float64{
+				"offnet-growth":      rep.OffnetGrowth(),
+				"interdomain-growth": rep.InterdomainGrowth(),
+			}
+			return nil
+		})
+		res.Points = append(res.Points, point)
 	}
 	return res, nil
 }

@@ -14,7 +14,17 @@ import (
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/traffic"
+)
+
+var (
+	mTracesRun = obs.NewCounter("tracert.traces_run",
+		"traceroutes issued by the peering survey")
+	mHopsMapped = obs.NewCounter("tracert.hops_mapped",
+		"traceroute hops mapped to networks during inference")
+	mHopsPerTrace = obs.NewHistogram("tracert.hops_per_trace",
+		"hop counts per traceroute", []float64{2, 4, 6, 8, 12, 16, 24})
 )
 
 // Hop is one traceroute hop. Unresponsive hops appear with Responded=false
@@ -102,6 +112,8 @@ func Survey(d *hypergiant.Deployment, hg traffic.HG, cfg Config) map[inet.ASN][]
 		for vm := 0; vm < cfg.VMs; vm++ {
 			for _, target := range targets {
 				tr := trace(w, hgISP, path, vm, target, pni[isp.ASN], ixp[isp.ASN], cfg)
+				mTracesRun.Inc()
+				mHopsPerTrace.Observe(float64(len(tr.Hops)))
 				out[isp.ASN] = append(out[isp.ASN], tr)
 			}
 		}
@@ -237,6 +249,7 @@ func Infer(w *inet.World, hg traffic.HG, contentAS inet.ASN, traces map[inet.ASN
 	for as, list := range traces {
 		inf := ISPInference{Class: ClassNoEvidence}
 		for _, tr := range list {
+			mHopsMapped.Add(int64(len(tr.Hops)))
 			classifyTrace(w, contentAS, as, tr, &inf)
 		}
 		out[as] = inf

@@ -32,6 +32,8 @@ type MappingResult struct {
 // MappingStudy runs the Calder-2013 ECS mapping technique against both
 // steering eras on the 2023 deployment.
 func (p *Pipeline) MappingStudy() (*MappingResult, error) {
+	root := p.span("mapping-study")
+	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
@@ -42,12 +44,16 @@ func (p *Pipeline) MappingStudy() (*MappingResult, error) {
 		sample = 3
 	}
 	out := &MappingResult{}
+	sp := p.span("mapping-study/era-2013")
 	for _, r := range steer.MapUsers(d, steer.Modes2013(), resolvers, sample, p.Seed) {
 		out.Era2013 = append(out.Era2013, mappingRow(r))
 	}
+	sp.End()
+	sp = p.span("mapping-study/era-2023")
 	for _, r := range steer.MapUsers(d, steer.Modes2023(), resolvers, sample, p.Seed) {
 		out.Era2023 = append(out.Era2023, mappingRow(r))
 	}
+	sp.End()
 	return out, nil
 }
 
@@ -88,12 +94,17 @@ type MitigationResult struct {
 
 // MitigationStudy sweeps top-facility failures under both regimes.
 func (p *Pipeline) MitigationStudy() (*MitigationResult, error) {
+	root := p.span("mitigation-study")
+	defer root.End()
 	_, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
 	}
 	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	sp := p.span("mitigation-study/sweep")
 	st := cascade.MitigationSweep(m, d, d.HostingISPs())
+	sp.SetAttr("scenarios", st.Scenarios)
+	sp.End()
 	out := &MitigationResult{
 		Scenarios:              st.Scenarios,
 		MeanCollateralShared:   st.MeanCollateralShared,

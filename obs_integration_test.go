@@ -1,0 +1,103 @@
+package offnetrisk
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"offnetrisk/internal/obs"
+)
+
+// runAll executes every experiment and concatenates the deterministic
+// renderings — the exact bytes REPORT.md is built from.
+func runAll(t *testing.T, p *Pipeline) string {
+	t.Helper()
+	var b strings.Builder
+	t1, err := p.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(t1.String())
+	col, err := p.Colocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(col.String())
+	ps, err := p.PeeringSurvey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(ps.String())
+	cs, err := p.CapacityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(cs.String())
+	cas, err := p.CascadeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(cas.String())
+	mp, err := p.MappingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(mp.String())
+	mit, err := p.MitigationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(mit.String())
+	return b.String()
+}
+
+// TestInstrumentationDeterminism is the zero-perturbation guard: attaching a
+// tracer must not change a single byte of any experiment's output. Spans and
+// metrics observe the pipeline; they must never feed back into it.
+func TestInstrumentationDeterminism(t *testing.T) {
+	plain := runAll(t, NewPipeline(42, ScaleTiny))
+
+	instrumented := NewPipeline(42, ScaleTiny)
+	tr := obs.NewTracer()
+	instrumented.Instrument(tr)
+	traced := runAll(t, instrumented)
+
+	if plain != traced {
+		t.Fatalf("instrumented run diverged from plain run:\nplain:\n%s\ninstrumented:\n%s", plain, traced)
+	}
+	if len(tr.Roots()) == 0 {
+		t.Fatal("instrumented run recorded no spans")
+	}
+}
+
+// TestPipelineSpanCoverage checks that every experiment method records a root
+// span with at least one child stage when instrumented.
+func TestPipelineSpanCoverage(t *testing.T) {
+	p := NewPipeline(42, ScaleTiny)
+	tr := obs.NewTracer()
+	p.Instrument(tr)
+	runAll(t, p)
+
+	want := []string{
+		"table1", "colocation", "peering-survey", "capacity-study",
+		"cascade-study", "mapping-study", "mitigation-study",
+	}
+	snaps := tr.Snapshot(time.Time{})
+	byName := make(map[string]obs.SpanSnapshot, len(snaps))
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	for _, name := range want {
+		s, ok := byName[name]
+		if !ok {
+			t.Errorf("missing root span %q", name)
+			continue
+		}
+		if len(s.Children) == 0 {
+			t.Errorf("root span %q has no child stages", name)
+		}
+		if !s.Ended {
+			t.Errorf("root span %q never ended", name)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 )
 
 // Scale selects how large a synthetic Internet the pipeline builds.
@@ -46,6 +47,12 @@ type Pipeline struct {
 	Seed  int64
 	Scale Scale
 
+	// tracer records per-stage spans when instrumentation is attached via
+	// Instrument; nil (the default) disables tracing at zero cost. Tracing
+	// never feeds back into experiment results, so instrumented and plain
+	// runs of the same seed are bit-for-bit identical.
+	tracer *obs.Tracer
+
 	mu     sync.Mutex
 	worlds map[hypergiant.Epoch]*inet.World
 	deps   map[hypergiant.Epoch]*hypergiant.Deployment
@@ -58,6 +65,31 @@ func NewPipeline(seed int64, scale Scale) *Pipeline {
 		Scale:  scale,
 		worlds: make(map[hypergiant.Epoch]*inet.World),
 		deps:   make(map[hypergiant.Epoch]*hypergiant.Deployment),
+	}
+}
+
+// Instrument attaches a span tracer; every experiment method then records a
+// root span over its internal stages. Pass nil to disable again.
+func (p *Pipeline) Instrument(t *obs.Tracer) { p.tracer = t }
+
+// Tracer returns the attached tracer (nil when uninstrumented).
+func (p *Pipeline) Tracer() *obs.Tracer { return p.tracer }
+
+// span opens a span on the attached tracer; with no tracer it returns a nil
+// span whose methods are no-ops.
+func (p *Pipeline) span(name string) *obs.Span {
+	return p.tracer.Start(name)
+}
+
+// String names the scale for logs and manifests.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleLarge:
+		return "large"
+	default:
+		return "default"
 	}
 }
 
@@ -81,11 +113,15 @@ func (p *Pipeline) deployment(epoch hypergiant.Epoch) (*inet.World, *hypergiant.
 	if d, ok := p.deps[epoch]; ok {
 		return p.worlds[epoch], d, nil
 	}
+	sp := p.span(fmt.Sprintf("world/build-%d", epoch))
+	defer sp.End()
 	w := inet.Generate(p.worldConfig())
 	d, err := hypergiant.Deploy(w, epoch, hypergiant.DefaultDeployConfig(p.Seed))
 	if err != nil {
 		return nil, nil, fmt.Errorf("offnetrisk: deploy epoch %d: %w", epoch, err)
 	}
+	sp.SetAttr("isps", len(w.ISPs))
+	sp.SetAttr("servers", len(d.Servers))
 	p.worlds[epoch] = w
 	p.deps[epoch] = d
 	return w, d, nil

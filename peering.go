@@ -54,6 +54,9 @@ func (p *Pipeline) PeeringSurvey() (*PeeringSurveyResult, error) {
 // could not do ("We cannot run measurements from Meta, Netflix, or Akamai")
 // but the simulation can.
 func (p *Pipeline) PeeringSurveyFor(hg traffic.HG) (*PeeringSurveyResult, error) {
+	root := p.span("peering-survey")
+	root.SetAttr("hypergiant", hg.String())
+	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
@@ -62,14 +65,19 @@ func (p *Pipeline) PeeringSurveyFor(hg traffic.HG) (*PeeringSurveyResult, error)
 	if p.Scale == ScaleTiny {
 		cfg.VMs = 24
 	}
+	sp := p.span("peering-survey/traceroutes")
 	traces := tracert.Survey(d, hg, cfg)
-	inf := tracert.Infer(w, hg, d.ContentAS[hg], traces)
-	st := tracert.Stats(d, hg, inf)
-
 	n := 0
 	for _, list := range traces {
 		n += len(list)
 	}
+	sp.SetAttr("traceroutes", n)
+	sp.End()
+	sp = p.span("peering-survey/infer")
+	inf := tracert.Infer(w, hg, d.ContentAS[hg], traces)
+	st := tracert.Stats(d, hg, inf)
+	sp.SetAttr("peers_total", st.PeersTotal)
+	sp.End()
 	return &PeeringSurveyResult{
 		Hypergiant:      hg.String(),
 		HostsTotal:      st.HostsTotal,

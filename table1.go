@@ -41,6 +41,8 @@ type Table1Result struct {
 // 2021 epoch uses the original rules; the 2023 epoch uses this paper's
 // updated rules; the stale-rule ablation applies 2021 rules to 2023 data.
 func (p *Pipeline) Table1() (*Table1Result, error) {
+	root := p.span("table1")
+	defer root.End()
 	w21, d21, err := p.deployment(hypergiant.Epoch2021)
 	if err != nil {
 		return nil, err
@@ -49,17 +51,26 @@ func (p *Pipeline) Table1() (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := p.span("table1/tls-scan")
 	recs21, err := scan.Simulate(d21, scan.DefaultConfig(p.Seed))
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	recs23, err := scan.Simulate(d23, scan.DefaultConfig(p.Seed))
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetAttr("records_2021", len(recs21))
+	sp.SetAttr("records_2023", len(recs23))
+	sp.End()
+	sp = p.span("table1/offnet-inference")
 	res21 := offnetmap.Infer(w21, recs21, offnetmap.Rules2021())
 	res23 := offnetmap.Infer(w23, recs23, offnetmap.Rules2023())
 	stale := offnetmap.Infer(w23, recs23, offnetmap.Rules2021())
+	sp.SetAttr("offnets_2023", len(res23.Offnets))
+	sp.End()
 
 	out := &Table1Result{StaleRuleISPs2023: make(map[string]int)}
 	for _, row := range offnetmap.Table1(res21, res23) {
