@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench check report
+.PHONY: build test vet race bench bench-json check report
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable bench record: every bench as test2json events, stamped
+# with the run date so successive runs accumulate as an experiment log.
+# The workers=1 vs workers=4 sub-benches of BenchmarkTable2Colocation and
+# BenchmarkSec421PeeringSurvey record the parallel-substrate speedup.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json ./... > BENCH_$$(date +%Y-%m-%d).json
 
 check: build vet race
 

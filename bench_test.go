@@ -6,6 +6,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"offnetrisk/internal/obs"
 	"offnetrisk/internal/optics"
 	"offnetrisk/internal/stats"
+	"offnetrisk/internal/tracert"
 	"offnetrisk/internal/traffic"
 )
 
@@ -89,17 +91,43 @@ func benchColocation(b *testing.B) (*hypergiant.Deployment, *mlab.Campaign, *col
 // fully-colocated bucket per hypergiant at each ξ (paper: Google 33→62,
 // Akamai 16→58, Meta 32→84, Netflix 46→71 percent) plus the §4.1
 // single-site fraction for Netflix (paper: 75.3–91.2%).
+//
+// World and deployment are built outside the timed region; the sub-benches
+// time only the ping campaign + OPTICS clustering at each worker count, so
+// workers=1 vs workers=4 reads directly as the parallel speedup of the §3
+// hot path. The shape metrics are identical across worker counts by
+// construction (see TestInstrumentationDeterminism).
 func BenchmarkTable2Colocation(b *testing.B) {
-	var a *coloc.Analysis
-	for i := 0; i < b.N; i++ {
-		_, _, a = benchColocation(b)
+	w := inet.Generate(inet.TinyConfig(benchSeed))
+	d, err := hypergiant.Deploy(w, hypergiant.Epoch2023, hypergiant.DefaultDeployConfig(benchSeed))
+	if err != nil {
+		b.Fatal(err)
 	}
-	for _, row := range a.Table2() {
-		b.ReportMetric(100*row.BucketFrac[stats.BucketFull],
-			"full-coloc%/"+row.HG.String()+"/xi="+xiTag(row.Xi))
+	sites := mlab.Sites(163, benchSeed)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			var a *coloc.Analysis
+			for i := 0; i < b.N; i++ {
+				cfg := mlab.DefaultConfig(benchSeed)
+				cfg.Workers = workers
+				c, err := mlab.MeasureContext(ctx, d, sites, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err = coloc.AnalyzeContext(ctx, w, c, []float64{0.1, 0.9}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, row := range a.Table2() {
+				b.ReportMetric(100*row.BucketFrac[stats.BucketFull],
+					"full-coloc%/"+row.HG.String()+"/xi="+xiTag(row.Xi))
+			}
+			b.ReportMetric(100*a.SingleSiteFrac(traffic.Netflix, 0.1), "single-site%/Netflix/xi=0.1")
+			b.ReportMetric(100*a.SingleSiteFrac(traffic.Netflix, 0.9), "single-site%/Netflix/xi=0.9")
+		})
 	}
-	b.ReportMetric(100*a.SingleSiteFrac(traffic.Netflix, 0.1), "single-site%/Netflix/xi=0.1")
-	b.ReportMetric(100*a.SingleSiteFrac(traffic.Netflix, 0.9), "single-site%/Netflix/xi=0.9")
 }
 
 func xiTag(xi float64) string {
@@ -217,24 +245,45 @@ func BenchmarkSec41Diurnal(b *testing.B) {
 // and peering inference for Google. Metrics: peer / possible / no-evidence
 // percentages over offnet hosts (paper: 38.2 / 13.3 / 48.4) and the IXP
 // shares over peers (62.2 via, 42.5 only).
+//
+// World and deployment are built outside the timed region; the sub-benches
+// time the traceroute campaign + inference at each worker count (the VM
+// count matches the tiny-scale pipeline), so workers=1 vs workers=4 reads
+// directly as the parallel speedup of the §4.2.1 hot path.
 func BenchmarkSec421PeeringSurvey(b *testing.B) {
-	var res *PeeringSurveyResult
-	var tr *obs.Tracer
-	for i := 0; i < b.N; i++ {
-		p := NewPipeline(benchSeed, ScaleTiny)
-		tr = instrument(p)
-		var err error
-		res, err = p.PeeringSurvey()
-		if err != nil {
-			b.Fatal(err)
-		}
+	w := inet.Generate(inet.TinyConfig(benchSeed))
+	d, err := hypergiant.Deploy(w, hypergiant.Epoch2023, hypergiant.DefaultDeployConfig(benchSeed))
+	if err != nil {
+		b.Fatal(err)
 	}
-	defer reportStageTimings(b, tr)
-	b.ReportMetric(res.PeerPct(), "peer%")
-	b.ReportMetric(res.PossiblePct(), "possible%")
-	b.ReportMetric(res.NoEvidencePct(), "no-evidence%")
-	b.ReportMetric(res.ViaIXPPct(), "via-ixp%")
-	b.ReportMetric(res.OnlyIXPPct(), "only-ixp%")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			var st tracert.SurveyStats
+			var n int
+			for i := 0; i < b.N; i++ {
+				cfg := tracert.DefaultConfig(benchSeed)
+				cfg.VMs = 24
+				cfg.Workers = workers
+				traces, err := tracert.SurveyContext(ctx, d, traffic.Google, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = 0
+				for _, list := range traces {
+					n += len(list)
+				}
+				inf := tracert.Infer(w, traffic.Google, d.ContentAS[traffic.Google], traces)
+				st = tracert.Stats(d, traffic.Google, inf)
+			}
+			b.ReportMetric(float64(n), "traceroutes")
+			b.ReportMetric(pct(st.HostsPeer, st.HostsTotal), "peer%")
+			b.ReportMetric(pct(st.HostsPossible, st.HostsTotal), "possible%")
+			b.ReportMetric(pct(st.HostsNoEvidence, st.HostsTotal), "no-evidence%")
+			b.ReportMetric(pct(st.PeersViaIXP, st.PeersTotal), "via-ixp%")
+			b.ReportMetric(pct(st.PeersOnlyIXP, st.PeersTotal), "only-ixp%")
+		})
+	}
 }
 
 // BenchmarkSec422PNICensus regenerates §4.2.2. Metrics: mean exceedance

@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,6 +57,12 @@ type CapacityResult struct {
 // CapacityStudy runs the offnet/interconnect capacity experiments on the
 // 2023 deployment.
 func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
+	return p.CapacityStudyContext(context.Background())
+}
+
+// CapacityStudyContext is CapacityStudy with cancellation; the diurnal
+// sweep serves its 24 hours across p.Workers goroutines.
+func (p *Pipeline) CapacityStudyContext(ctx context.Context) (*CapacityResult, error) {
 	root := p.span("capacity-study")
 	defer root.End()
 	_, d, err := p.deployment(hypergiant.Epoch2023)
@@ -82,8 +89,13 @@ func (p *Pipeline) CapacityStudy() (*CapacityResult, error) {
 	}
 	sp.End()
 
-	sp = p.span("capacity-study/diurnal-sweep")
-	for _, pt := range capacity.DiurnalSweep(m) {
+	sctx, sp := p.spanCtx(ctx, "capacity-study/diurnal-sweep")
+	points, err := capacity.DiurnalSweepContext(sctx, m, p.Workers)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	for _, pt := range points {
 		out.Diurnal = append(out.Diurnal, DiurnalRow{
 			Hour: pt.Hour, DemandGbps: pt.Demand,
 			NearbyPct: 100 * pt.NearbyShare, DistantPct: 100 * pt.DistantShare,

@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,6 +54,12 @@ type CascadeScenario struct {
 // CascadeStudy sweeps top-facility failures across every hosting ISP and
 // reports the aggregate correlated-failure statistics plus the worst case.
 func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
+	return p.CascadeStudyContext(context.Background())
+}
+
+// CascadeStudyContext is CascadeStudy with cancellation; the facility sweep
+// and the QoE session simulation fan out across p.Workers goroutines.
+func (p *Pipeline) CascadeStudyContext(ctx context.Context) (*CascadeResult, error) {
 	root := p.span("cascade-study")
 	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
@@ -63,8 +70,12 @@ func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
 	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
 	sp.End()
 	hosts := d.HostingISPs()
-	sp = p.span("cascade-study/facility-sweep")
-	st := cascade.Sweep(m, d, hosts)
+	sctx, sp := p.spanCtx(ctx, "cascade-study/facility-sweep")
+	st, err := cascade.SweepContext(sctx, m, d, hosts, p.Workers)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	sp.SetAttr("scenarios", st.Scenarios)
 	sp.End()
 	out := &CascadeResult{
@@ -90,7 +101,7 @@ func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
 		}
 	}
 	if worstScore > 0 {
-		sp = p.span("cascade-study/worst-case-qoe")
+		sctx, sp = p.spanCtx(ctx, "cascade-study/worst-case-qoe")
 		defer sp.End()
 		sc := cascade.DefaultScenario()
 		sc.SharedHeadroom = 1.1
@@ -99,8 +110,18 @@ func (p *Pipeline) CascadeStudy() (*CascadeResult, error) {
 
 		// Session-level QoE: baseline vs this worst case.
 		base := cascade.Simulate(m, d, cascade.DefaultScenario())
-		out.BaselineQoE = qoeRow(session.Score(session.Run(m, d, base, session.DefaultConfig(p.Seed))))
-		out.WorstQoE = qoeRow(session.Score(session.Run(m, d, rep, session.DefaultConfig(p.Seed))))
+		scfg := session.DefaultConfig(p.Seed)
+		scfg.Workers = p.Workers
+		baseSessions, err := session.RunContext(sctx, m, d, base, scfg)
+		if err != nil {
+			return nil, err
+		}
+		worstSessions, err := session.RunContext(sctx, m, d, rep, scfg)
+		if err != nil {
+			return nil, err
+		}
+		out.BaselineQoE = qoeRow(session.Score(baseSessions))
+		out.WorstQoE = qoeRow(session.Score(worstSessions))
 
 		var hgs []string
 		for _, hg := range rep.HGsImpacted {
@@ -134,6 +155,15 @@ func qoeRow(q session.QoE) QoERow {
 // PerfectStorm runs the §4.3 worst case on demand: simultaneous surge on
 // every hypergiant plus failure of the N most-colocated facilities.
 func (p *Pipeline) PerfectStorm(failures int, surge float64) (*CascadeScenario, error) {
+	return p.PerfectStormContext(context.Background(), failures, surge)
+}
+
+// PerfectStormContext is PerfectStorm with cancellation (the scenario is a
+// single simulation, so the context only gates entry).
+func (p *Pipeline) PerfectStormContext(ctx context.Context, failures int, surge float64) (*CascadeScenario, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	root := p.span("perfect-storm")
 	root.SetAttr("failures", failures)
 	root.SetAttr("surge", surge)

@@ -11,30 +11,30 @@ import (
 	"sort"
 
 	"offnetrisk"
+	"offnetrisk/internal/cli"
 	"offnetrisk/internal/obs"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "world seed")
-	tiny := flag.Bool("tiny", false, "use the miniature test world")
-	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	common := cli.Register(flag.CommandLine)
 	countries := flag.Int("countries", 10, "Figure 1 rows to print")
 	ccdf := flag.Bool("ccdf", false, "print the full Figure 2 CCDF series")
-	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
-	logger := obs.SetupCLI("colocmap", *verbose)
+	logger := common.Logger("colocmap")
+	ctx, stop := common.Context()
+	defer stop()
 
-	scale := offnetrisk.ScaleDefault
-	if *tiny {
-		scale = offnetrisk.ScaleTiny
+	p := common.Pipeline()
+	tr := obs.NewTracer()
+	p.Instrument(tr)
+	if err := common.StartDebug(ctx, tr, logger); err != nil {
+		logger.Error("debug endpoint failed to start", "err", err)
+		os.Exit(1)
 	}
-	if *large {
-		scale = offnetrisk.ScaleLarge
-	}
-	p := offnetrisk.NewPipeline(*seed, scale)
-	logger.Debug("running colocation pipeline", "seed", *seed, "scale", scale.String())
-	res, err := p.Colocation()
+
+	logger.Debug("running colocation pipeline", "seed", common.Seed, "scale", common.Scale().String())
+	res, err := p.ColocationContext(ctx)
 	if err != nil {
 		logger.Error("colocation pipeline failed", "err", err)
 		os.Exit(1)

@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"os"
 
-	"offnetrisk"
 	"offnetrisk/internal/atlas"
+	"offnetrisk/internal/cli"
 	"offnetrisk/internal/coloc"
 	"offnetrisk/internal/mlab"
 	"offnetrisk/internal/obs"
@@ -20,38 +20,43 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "world seed")
-	tiny := flag.Bool("tiny", false, "use the miniature test world")
-	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	common := cli.Register(flag.CommandLine)
 	xi := flag.Float64("xi", 0.9, "OPTICS steepness for the facility clustering")
 	out := flag.String("o", "", "write the atlas CSV here (default: stats only)")
-	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
-	logger := obs.SetupCLI("offnetatlas", *verbose)
+	logger := common.Logger("offnetatlas")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
+	ctx, stop := common.Context()
+	defer stop()
 
-	scale := offnetrisk.ScaleDefault
-	if *tiny {
-		scale = offnetrisk.ScaleTiny
+	p := common.Pipeline()
+	tr := obs.NewTracer()
+	p.Instrument(tr)
+	if err := common.StartDebug(ctx, tr, logger); err != nil {
+		fatal("debug endpoint failed to start", err)
 	}
-	if *large {
-		scale = offnetrisk.ScaleLarge
-	}
-	p := offnetrisk.NewPipeline(*seed, scale)
 	w, d, err := p.World2023()
 	if err != nil {
 		fatal("world build failed", err)
 	}
 
 	logger.Info("running latency campaign")
-	c := mlab.Measure(d, mlab.Sites(163, *seed), mlab.DefaultConfig(*seed))
+	mcfg := mlab.DefaultConfig(common.Seed)
+	mcfg.Workers = common.Workers
+	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(163, common.Seed), mcfg)
+	if err != nil {
+		fatal("latency campaign failed", err)
+	}
 	logger.Info("clustering")
-	a := coloc.Analyze(w, c, []float64{*xi})
-	ptrs := rdns.Synthesize(d, rdns.DefaultConfig(*seed))
+	a, err := coloc.AnalyzeContext(ctx, w, c, []float64{*xi}, common.Workers)
+	if err != nil {
+		fatal("clustering failed", err)
+	}
+	ptrs := rdns.Synthesize(d, rdns.DefaultConfig(common.Seed))
 
 	entries := atlas.Build(d, c, a, ptrs, *xi)
 	s := atlas.Score(entries)

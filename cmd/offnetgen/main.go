@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"offnetrisk/internal/cli"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
@@ -45,27 +46,26 @@ type dump struct {
 }
 
 func main() {
-	seed := flag.Int64("seed", 42, "world seed")
-	tiny := flag.Bool("tiny", false, "generate the miniature test world")
+	common := cli.Register(flag.CommandLine)
 	epoch := flag.Int("epoch", 2023, "deployment epoch (2021 or 2023)")
 	summary := flag.Bool("summary", false, "print a short summary instead of JSON")
 	snapshot := flag.Bool("snapshot", false, "emit a loadable world snapshot (inet.RestoreJSON format) instead of the flat dump")
-	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
-	logger := obs.SetupCLI("offnetgen", *verbose)
+	logger := common.Logger("offnetgen")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
-
-	cfg := inet.DefaultConfig(*seed)
-	if *tiny {
-		cfg = inet.TinyConfig(*seed)
+	ctx, stop := common.Context()
+	defer stop()
+	if err := common.StartDebug(ctx, obs.NewTracer(), logger); err != nil {
+		fatal("debug endpoint failed to start", err)
 	}
-	w := inet.Generate(cfg)
+
+	w := inet.Generate(common.WorldConfig())
 	logger.Debug("world generated", "isps", len(w.ISPs), "facilities", len(w.Facilities))
-	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DefaultDeployConfig(*seed))
+	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DefaultDeployConfig(common.Seed))
 	if err != nil {
 		fatal("deploy failed", err)
 	}
@@ -81,14 +81,14 @@ func main() {
 
 	if *summary {
 		fmt.Printf("world seed=%d: %d ISPs (%d access), %d facilities, %d IXPs, %.2fB users\n",
-			*seed, len(w.ISPs), len(w.AccessISPs()), len(w.Facilities), len(w.IXPs),
+			common.Seed, len(w.ISPs), len(w.AccessISPs()), len(w.Facilities), len(w.IXPs),
 			w.TotalUsers()/1e9)
 		fmt.Printf("deployment epoch=%d: %d offnet servers in %d ISPs, %d peerings\n",
 			*epoch, len(d.Servers), len(d.HostingISPs()), len(d.Peerings))
 		return
 	}
 
-	out := dump{Seed: *seed, IXPs: len(w.IXPs), Facilities: len(w.Facilities), Peerings: len(d.Peerings)}
+	out := dump{Seed: common.Seed, IXPs: len(w.IXPs), Facilities: len(w.Facilities), Peerings: len(d.Peerings)}
 	for _, isp := range w.ISPList() {
 		id := ispDump{
 			ASN: uint32(isp.ASN), Name: isp.Name, Country: isp.Country,

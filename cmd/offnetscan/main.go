@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"offnetrisk"
+	"offnetrisk/internal/cli"
 	"offnetrisk/internal/obs"
 	"offnetrisk/internal/offnetmap"
 	"offnetrisk/internal/scan"
@@ -17,38 +17,24 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "world seed")
-	tiny := flag.Bool("tiny", false, "use the miniature test world")
-	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	common := cli.Register(flag.CommandLine)
 	records := flag.String("records", "", "also write the 2023 scan as NDJSON to this file")
 	from := flag.String("from", "", "re-run the 2023 inference over an NDJSON scan dump instead of scanning")
-	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	flag.Parse()
 
-	logger := obs.SetupCLI("offnetscan", *verbose)
+	logger := common.Logger("offnetscan")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
+	ctx, stop := common.Context()
+	defer stop()
 
-	scale := offnetrisk.ScaleDefault
-	if *tiny {
-		scale = offnetrisk.ScaleTiny
-	}
-	if *large {
-		scale = offnetrisk.ScaleLarge
-	}
-	p := offnetrisk.NewPipeline(*seed, scale)
-
+	p := common.Pipeline()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
-	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, tr)
-		if err != nil {
-			fatal("debug endpoint failed to start", err)
-		}
-		logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	if err := common.StartDebug(ctx, tr, logger); err != nil {
+		fatal("debug endpoint failed to start", err)
 	}
 
 	if *from != "" {
@@ -75,8 +61,8 @@ func main() {
 		return
 	}
 
-	logger.Debug("running Table 1 pipeline", "seed", *seed, "scale", scale.String())
-	res, err := p.Table1()
+	logger.Debug("running Table 1 pipeline", "seed", common.Seed, "scale", common.Scale().String())
+	res, err := p.Table1Context(ctx)
 	if err != nil {
 		fatal("Table 1 pipeline failed", err)
 	}
@@ -87,7 +73,7 @@ func main() {
 		if err != nil {
 			fatal("world build failed", err)
 		}
-		recs, err := scan.Simulate(d, scan.DefaultConfig(*seed))
+		recs, err := scan.Simulate(d, scan.DefaultConfig(common.Seed))
 		if err != nil {
 			fatal("scan simulation failed", err)
 		}

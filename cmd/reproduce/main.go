@@ -9,10 +9,13 @@
 // stages still run; the command exits non-zero if any stage failed. With
 // -manifest the run writes a JSON provenance document (seed, scale, span
 // tree, metric values); with -debug-addr it serves live /debug/pprof,
-// /debug/vars and /debug/obs pages while running.
+// /debug/vars and /debug/obs pages while running. SIGINT cancels the
+// in-flight stage and shuts the debug endpoint down cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"offnetrisk"
+	"offnetrisk/internal/cli"
 	"offnetrisk/internal/coloc"
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/inet"
@@ -34,57 +38,53 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "world seed")
-	tiny := flag.Bool("tiny", false, "use the miniature test world")
-	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	common := cli.Register(flag.CommandLine)
 	outDir := flag.String("out", "out", "output directory")
-	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	logger := obs.SetupCLI("reproduce", *verbose)
+	logger := common.Logger("reproduce")
 	start := time.Now()
+	ctx, stop := common.Context()
+	defer stop()
 
-	scale := offnetrisk.ScaleDefault
-	if *tiny {
-		scale = offnetrisk.ScaleTiny
-	}
-	if *large {
-		scale = offnetrisk.ScaleLarge
-	}
+	scale := common.Scale()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		logger.Error("cannot create output directory", "dir", *outDir, "err", err)
 		os.Exit(1)
 	}
 
 	tr := obs.NewTracer()
-	p := offnetrisk.NewPipeline(*seed, scale)
+	p := common.Pipeline()
 	p.Instrument(tr)
 
-	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, tr)
-		if err != nil {
-			logger.Error("debug endpoint failed to start", "addr", *debugAddr, "err", err)
-			os.Exit(1)
-		}
-		logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	if err := common.StartDebug(ctx, tr, logger); err != nil {
+		logger.Error("debug endpoint failed to start", "addr", common.DebugAddr, "err", err)
+		os.Exit(1)
 	}
 
 	var md strings.Builder
-	fmt.Fprintf(&md, "# offnetrisk reproduction report\n\nseed %d, scale %v\n\n", *seed, scale)
+	fmt.Fprintf(&md, "# offnetrisk reproduction report\n\nseed %d, scale %v\n\n", common.Seed, scale)
 
 	// Stages run in order; a failure is collected, not fatal, so one broken
-	// experiment still leaves the rest of the report usable.
+	// experiment still leaves the rest of the report usable. Cancellation is
+	// fatal: once ctx is done every remaining stage would fail the same way.
 	type failure struct {
 		stage string
 		err   error
 	}
 	var failures []failure
 	run := func(stage string, fn func() error) {
+		if ctx.Err() != nil {
+			return
+		}
 		logger.Info("running stage", "stage", stage)
 		t0 := time.Now()
 		if err := fn(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				logger.Warn("stage cancelled", "stage", stage)
+				return
+			}
 			logger.Error("stage failed", "stage", stage, "err", err)
 			failures = append(failures, failure{stage, err})
 			fmt.Fprintf(&md, "## %s\n\n**stage failed:** `%v`\n\n", stage, err)
@@ -100,7 +100,7 @@ func main() {
 	}
 
 	run("table1", func() error {
-		t1, err := p.Table1()
+		t1, err := p.Table1Context(ctx)
 		if err != nil {
 			return err
 		}
@@ -109,7 +109,7 @@ func main() {
 	})
 
 	run("colocation", func() error {
-		col, err := p.Colocation()
+		col, err := p.ColocationContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -154,7 +154,10 @@ func main() {
 	run("reachability-plot", func() error {
 		// Reachability plot of the busiest analyzed ISP: the raw material the
 		// ξ extraction works on (the OPTICS paper's signature diagram).
-		reach := reachabilityOf(p)
+		reach, err := reachabilityOf(ctx, p, common.Workers)
+		if err != nil {
+			return err
+		}
 		if len(reach) == 0 {
 			return nil
 		}
@@ -168,7 +171,7 @@ func main() {
 	})
 
 	run("peering-survey", func() error {
-		ps, err := p.PeeringSurvey()
+		ps, err := p.PeeringSurveyContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -177,7 +180,7 @@ func main() {
 	})
 
 	run("capacity-study", func() error {
-		cs, err := p.CapacityStudy()
+		cs, err := p.CapacityStudyContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -197,7 +200,7 @@ func main() {
 	})
 
 	run("cascade-study", func() error {
-		cas, err := p.CascadeStudy()
+		cas, err := p.CascadeStudyContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -206,7 +209,7 @@ func main() {
 	})
 
 	run("mapping-study", func() error {
-		mp, err := p.MappingStudy()
+		mp, err := p.MappingStudyContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -215,7 +218,7 @@ func main() {
 	})
 
 	run("mitigation-study", func() error {
-		mit, err := p.MitigationStudy()
+		mit, err := p.MitigationStudyContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -225,13 +228,13 @@ func main() {
 
 	run("sensitivity-sweeps", func() error {
 		fmt.Fprintf(&md, "## Sensitivity sweeps (DESIGN.md §5)\n\n```\n")
-		if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
+		if r, err := sweep.ColocationPropensity(common.Seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
 			fmt.Fprint(&md, r)
 		}
-		if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
+		if r, err := sweep.SharedHeadroom(common.Seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
 			fmt.Fprint(&md, r)
 		}
-		if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
+		if r, err := sweep.DemandSpike(common.Seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
 			fmt.Fprint(&md, r)
 		}
 		fmt.Fprintf(&md, "```\n\n")
@@ -240,7 +243,7 @@ func main() {
 
 	var passed, total int
 	run("conformance", func() error {
-		suite, err := p.Conformance()
+		suite, err := p.ConformanceContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -255,7 +258,7 @@ func main() {
 
 	if *manifestPath != "" {
 		run("manifest", func() error {
-			m := obs.BuildManifest("reproduce", *seed, scale.String(), tr, start)
+			m := obs.BuildManifest("reproduce", common.Seed, scale.String(), tr, start)
 			if err := m.WriteFile(*manifestPath); err != nil {
 				return err
 			}
@@ -265,6 +268,10 @@ func main() {
 		})
 	}
 
+	if ctx.Err() != nil {
+		logger.Error("run interrupted", "elapsed", time.Since(start).Round(time.Millisecond))
+		os.Exit(1)
+	}
 	if len(failures) > 0 {
 		logger.Error("run finished with failures",
 			"failed", len(failures), "elapsed", time.Since(start).Round(time.Millisecond))
@@ -281,12 +288,17 @@ func main() {
 
 // reachabilityOf recomputes the OPTICS ordering for the ISP with the most
 // measured offnets and returns its reachability values.
-func reachabilityOf(p *offnetrisk.Pipeline) []float64 {
+func reachabilityOf(ctx context.Context, p *offnetrisk.Pipeline, workers int) ([]float64, error) {
 	_, d, err := p.World2023()
 	if err != nil {
-		return nil
+		return nil, nil
 	}
-	c := mlab.Measure(d, mlab.Sites(163, p.Seed), mlab.DefaultConfig(p.Seed))
+	mcfg := mlab.DefaultConfig(p.Seed)
+	mcfg.Workers = workers
+	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(163, p.Seed), mcfg)
+	if err != nil {
+		return nil, err
+	}
 	var bestAS inet.ASN
 	best := 0
 	// Tie-break on the lowest ASN: map iteration order would otherwise pick
@@ -297,10 +309,13 @@ func reachabilityOf(p *offnetrisk.Pipeline) []float64 {
 		}
 	}
 	if best < 2 {
-		return nil
+		return nil, nil
 	}
 	ms := c.ByISP[bestAS]
-	dm := coloc.DistanceMatrix(ms, c.GoodSites[bestAS], coloc.DiscrepancyExclusion)
+	dm, err := coloc.DistanceMatrixContext(ctx, ms, c.GoodSites[bestAS], coloc.DiscrepancyExclusion, workers)
+	if err != nil {
+		return nil, err
+	}
 	res := optics.Run(len(ms), func(i, j int) float64 { return dm[i][j] }, 2, math.Inf(1))
-	return res.Reach
+	return res.Reach, nil
 }

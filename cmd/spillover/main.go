@@ -8,52 +8,38 @@ import (
 	"fmt"
 	"os"
 
-	"offnetrisk"
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/cascade"
+	"offnetrisk/internal/cli"
 	"offnetrisk/internal/obs"
 	"offnetrisk/internal/sweep"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "world seed")
-	tiny := flag.Bool("tiny", false, "use the miniature test world")
-	large := flag.Bool("large", false, "use the large (paper-sized) world")
+	common := cli.Register(flag.CommandLine)
 	storm := flag.Bool("storm", false, "also run the perfect-storm scenario")
 	mitigate := flag.Bool("mitigate", false, "also run the §6 isolation what-if")
 	risk := flag.Bool("risk", false, "also run the Monte Carlo colocation-risk ablation")
 	sweeps := flag.Bool("sweeps", false, "also run the parameter sensitivity sweeps")
-	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	flag.Parse()
 
-	logger := obs.SetupCLI("spillover", *verbose)
+	logger := common.Logger("spillover")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
+	ctx, stop := common.Context()
+	defer stop()
 
-	scale := offnetrisk.ScaleDefault
-	if *tiny {
-		scale = offnetrisk.ScaleTiny
-	}
-	if *large {
-		scale = offnetrisk.ScaleLarge
-	}
-	p := offnetrisk.NewPipeline(*seed, scale)
-
+	p := common.Pipeline()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
-	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, tr)
-		if err != nil {
-			fatal("debug endpoint failed to start", err)
-		}
-		logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	if err := common.StartDebug(ctx, tr, logger); err != nil {
+		fatal("debug endpoint failed to start", err)
 	}
 
-	logger.Debug("running peering survey", "seed", *seed, "scale", scale.String())
-	ps, err := p.PeeringSurvey()
+	logger.Debug("running peering survey", "seed", common.Seed, "scale", common.Scale().String())
+	ps, err := p.PeeringSurveyContext(ctx)
 	if err != nil {
 		fatal("peering survey failed", err)
 	}
@@ -61,7 +47,7 @@ func main() {
 	fmt.Println()
 
 	logger.Debug("running capacity study")
-	cap, err := p.CapacityStudy()
+	cap, err := p.CapacityStudyContext(ctx)
 	if err != nil {
 		fatal("capacity study failed", err)
 	}
@@ -69,14 +55,14 @@ func main() {
 	fmt.Println()
 
 	logger.Debug("running cascade study")
-	cas, err := p.CascadeStudy()
+	cas, err := p.CascadeStudyContext(ctx)
 	if err != nil {
 		fatal("cascade study failed", err)
 	}
 	fmt.Print(cas)
 
 	if *mitigate {
-		mit, err := p.MitigationStudy()
+		mit, err := p.MitigationStudyContext(ctx)
 		if err != nil {
 			fatal("mitigation study failed", err)
 		}
@@ -90,10 +76,16 @@ func main() {
 			fatal("world build failed", err)
 		}
 		decol := cascade.Decolocate(d)
-		mCol := capacity.Build(d, capacity.DefaultConfig(*seed))
-		mDecol := capacity.Build(decol, capacity.DefaultConfig(*seed))
-		col := cascade.MonteCarlo(mCol, d, 3, 120, *seed)
-		dec := cascade.MonteCarlo(mDecol, decol, 3, 120, *seed)
+		mCol := capacity.Build(d, capacity.DefaultConfig(common.Seed))
+		mDecol := capacity.Build(decol, capacity.DefaultConfig(common.Seed))
+		col, err := cascade.MonteCarloContext(ctx, mCol, d, 3, 120, common.Seed, common.Workers)
+		if err != nil {
+			fatal("Monte Carlo (colocated) failed", err)
+		}
+		dec, err := cascade.MonteCarloContext(ctx, mDecol, decol, 3, 120, common.Seed, common.Workers)
+		if err != nil {
+			fatal("Monte Carlo (de-colocated) failed", err)
+		}
 		fmt.Printf("\nMonte Carlo risk (3 random facility outages, %d trials):\n", col.Trials)
 		fmt.Printf("  colocated (today):  %.2f hypergiants hit/outage, %.1fM users affected on average\n",
 			col.MeanHGs, col.MeanAffected/1e6)
@@ -106,17 +98,17 @@ func main() {
 		// Interactive use gets the timed rendering (wall-clock per sweep
 		// point, from the sweep's spans); REPORT.md keeps the untimed one.
 		fmt.Println()
-		if r, err := sweep.ColocationPropensity(*seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
+		if r, err := sweep.ColocationPropensity(common.Seed, []float64{0.3, 0.6, 0.86, 0.95}); err == nil {
 			fmt.Print(r.TimedString())
 		} else {
 			fatal("colocation-propensity sweep failed", err)
 		}
-		if r, err := sweep.SharedHeadroom(*seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
+		if r, err := sweep.SharedHeadroom(common.Seed, []float64{1.05, 1.25, 1.5, 2.0}); err == nil {
 			fmt.Print(r.TimedString())
 		} else {
 			fatal("shared-headroom sweep failed", err)
 		}
-		if r, err := sweep.DemandSpike(*seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
+		if r, err := sweep.DemandSpike(common.Seed, []float64{1.0, 1.3, 1.58, 2.0, 3.0}); err == nil {
 			fmt.Print(r.TimedString())
 		} else {
 			fatal("demand-spike sweep failed", err)
@@ -124,7 +116,7 @@ func main() {
 	}
 
 	if *storm {
-		sc, err := p.PerfectStorm(12, 1.5)
+		sc, err := p.PerfectStormContext(ctx, 12, 1.5)
 		if err != nil {
 			fatal("perfect storm failed", err)
 		}

@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -86,20 +87,36 @@ type ColocationResult struct {
 // campaign from 163 vantage points, per-ISP OPTICS clustering at both ξ,
 // Table 2 bucketing, Figure 1/2 aggregation, and the rDNS validation.
 func (p *Pipeline) Colocation() (*ColocationResult, error) {
+	return p.ColocationContext(context.Background())
+}
+
+// ColocationContext is Colocation with cancellation; the ping campaign and
+// the per-ISP OPTICS clustering fan out across p.Workers goroutines.
+func (p *Pipeline) ColocationContext(ctx context.Context) (*ColocationResult, error) {
 	root := p.span("colocation")
 	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
 	if err != nil {
 		return nil, err
 	}
-	sp := p.span("colocation/ping-campaign")
+	sctx, sp := p.spanCtx(ctx, "colocation/ping-campaign")
 	sites := mlab.Sites(163, p.Seed)
-	campaign := mlab.Measure(d, sites, mlab.DefaultConfig(p.Seed))
+	mcfg := mlab.DefaultConfig(p.Seed)
+	mcfg.Workers = p.Workers
+	campaign, err := mlab.MeasureContext(sctx, d, sites, mcfg)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	sp.SetAttr("measured_isps", campaign.MeasuredISPs)
 	sp.SetAttr("unresponsive", campaign.Unresponsive)
 	sp.End()
-	sp = p.span("colocation/optics-cluster")
-	analysis := coloc.Analyze(w, campaign, Xis)
+	sctx, sp = p.spanCtx(ctx, "colocation/optics-cluster")
+	analysis, err := coloc.AnalyzeContext(sctx, w, campaign, Xis, p.Workers)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	sp.SetAttr("isps_clustered", len(analysis.PerISP))
 	sp.End()
 

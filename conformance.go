@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"strconv"
 
 	"offnetrisk/internal/report"
@@ -13,12 +14,19 @@ import (
 // synthetic substrate's variance while rejecting direction or ordering
 // violations — the standard DESIGN.md §4 sets for "reproduced".
 func (p *Pipeline) Conformance() (*report.Suite, error) {
+	return p.ConformanceContext(context.Background())
+}
+
+// ConformanceContext is Conformance with cancellation, running every
+// sub-experiment through its context-aware variant so a SIGINT aborts the
+// whole suite promptly.
+func (p *Pipeline) ConformanceContext(ctx context.Context) (*report.Suite, error) {
 	root := p.span("conformance")
 	defer root.End()
 	s := &report.Suite{}
 
 	// ---- Table 1 (§2.2) -------------------------------------------------
-	t1, err := p.Table1()
+	t1, err := p.Table1Context(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +50,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 			t1.StaleRuleISPs2023["Netflix"] > 0)
 
 	// ---- Table 2 / Figures 1–2 (§3) -------------------------------------
-	col, err := p.Colocation()
+	col, err := p.ColocationContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +80,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 	}
 
 	// ---- §4.1 / §4.2 -----------------------------------------------------
-	cs, err := p.CapacityStudy()
+	cs, err := p.CapacityStudyContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +107,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 			100*pniSevere/pniTotal, 1, 30, "%")
 	}
 
-	ps, err := p.PeeringSurvey()
+	ps, err := p.PeeringSurveyContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +118,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 		ps.PeersTotal > ps.HostsPeer)
 
 	// ---- §4.3 / §3.3 ------------------------------------------------------
-	cas, err := p.CascadeStudy()
+	cas, err := p.CascadeStudyContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +129,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 			cas.WorstQoE.DroppedPct >= cas.BaselineQoE.DroppedPct)
 
 	// ---- §3.2 methodology + §6 mitigation ---------------------------------
-	mp, err := p.MappingStudy()
+	mp, err := p.MappingStudyContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +150,7 @@ func (p *Pipeline) Conformance() (*report.Suite, error) {
 	s.AddBool("Sec3.2/mapping-broke", "2013 technique worked then, fails now",
 		g13 > 0 && g23 == 0 && a23 > 0)
 
-	mit, err := p.MitigationStudy()
+	mit, err := p.MitigationStudyContext(ctx)
 	if err != nil {
 		return nil, err
 	}

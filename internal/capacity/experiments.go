@@ -1,7 +1,10 @@
 package capacity
 
 import (
+	"context"
+
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/traffic"
 )
 
@@ -79,24 +82,31 @@ type DiurnalPoint struct {
 // the 530-apartment observation: "During peak periods, a higher fraction of
 // traffic from the same services instead comes from more distant servers."
 func DiurnalSweep(m *Model) []DiurnalPoint {
-	out := make([]DiurnalPoint, 0, 24)
-	for h := 0; h < 24; h++ {
-		flows := m.Serve(Diurnal[h], nil, nil)
-		var demand, offnet, inter, spill float64
-		for _, f := range flows {
-			demand += f.Demand
-			offnet += f.Offnet
-			inter += f.Interdomain()
-			spill += f.SharedSpill()
-		}
-		p := DiurnalPoint{Hour: h, Demand: demand, SharedSpill: spill}
-		if demand > 0 {
-			p.NearbyShare = offnet / demand
-			p.DistantShare = inter / demand
-		}
-		out = append(out, p)
-	}
+	out, _ := DiurnalSweepContext(context.Background(), m, 1)
 	return out
+}
+
+// DiurnalSweepContext is DiurnalSweep with cancellation, serving each of the
+// 24 hours as an independent task (Serve is read-only on the model) and
+// returning the points in hour order.
+func DiurnalSweepContext(ctx context.Context, m *Model, workers int) ([]DiurnalPoint, error) {
+	return par.Map(ctx, 24, par.Options{Workers: workers, Name: "diurnal-sweep"},
+		func(_ context.Context, h int) (DiurnalPoint, error) {
+			flows := m.Serve(Diurnal[h], nil, nil)
+			var demand, offnet, inter, spill float64
+			for _, f := range flows {
+				demand += f.Demand
+				offnet += f.Offnet
+				inter += f.Interdomain()
+				spill += f.SharedSpill()
+			}
+			p := DiurnalPoint{Hour: h, Demand: demand, SharedSpill: spill}
+			if demand > 0 {
+				p.NearbyShare = offnet / demand
+				p.DistantShare = inter / demand
+			}
+			return p, nil
+		})
 }
 
 // PNICensus is the §4.2.2 reproduction: how dedicated interconnects compare

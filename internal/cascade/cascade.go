@@ -8,12 +8,14 @@
 package cascade
 
 import (
+	"context"
 	"sort"
 
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/traffic"
 )
 
@@ -304,20 +306,49 @@ type SweepStats struct {
 
 // Sweep fails the top facility of each given ISP in turn and aggregates.
 func Sweep(m *capacity.Model, d *hypergiant.Deployment, isps []inet.ASN) SweepStats {
+	st, _ := SweepContext(context.Background(), m, d, isps, 1)
+	return st
+}
+
+// SweepContext is Sweep with cancellation, one scenario simulation per task
+// on a bounded worker pool. Simulate is read-only on the model and
+// deployment and the stats are commutative sums, so the aggregate is
+// identical at any worker count.
+func SweepContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment, isps []inet.ASN, workers int) (SweepStats, error) {
+	type outcome struct {
+		ok        bool
+		hgs, coll float64
+		congested bool
+	}
+	outs, err := par.Map(ctx, len(isps), par.Options{Workers: workers, Name: "facility-sweep"},
+		func(_ context.Context, i int) (outcome, error) {
+			fid, nHGs := TopFacility(d, isps[i])
+			if nHGs <= 0 {
+				return outcome{}, nil
+			}
+			sc := DefaultScenario()
+			sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
+			rep := Simulate(m, d, sc)
+			return outcome{
+				ok:        true,
+				hgs:       float64(nHGs),
+				coll:      float64(len(rep.CollateralISPs)),
+				congested: len(rep.CongestedIXPs()) > 0 || len(rep.CongestedTransits()) > 0,
+			}, nil
+		})
+	if err != nil {
+		return SweepStats{}, err
+	}
 	var st SweepStats
 	var hgSum, collSum float64
-	for _, as := range isps {
-		fid, nHGs := TopFacility(d, as)
-		if nHGs <= 0 {
+	for _, o := range outs {
+		if !o.ok {
 			continue
 		}
-		sc := DefaultScenario()
-		sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
-		rep := Simulate(m, d, sc)
 		st.Scenarios++
-		hgSum += float64(nHGs)
-		collSum += float64(len(rep.CollateralISPs))
-		if len(rep.CongestedIXPs()) > 0 || len(rep.CongestedTransits()) > 0 {
+		hgSum += o.hgs
+		collSum += o.coll
+		if o.congested {
 			st.CongestionFraction++
 		}
 	}
@@ -326,5 +357,5 @@ func Sweep(m *capacity.Model, d *hypergiant.Deployment, isps []inet.ASN) SweepSt
 		st.MeanCollateralISPs = collSum / float64(st.Scenarios)
 		st.CongestionFraction /= float64(st.Scenarios)
 	}
-	return st
+	return st, nil
 }

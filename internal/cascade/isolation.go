@@ -1,9 +1,12 @@
 package cascade
 
 import (
+	"context"
+
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/traffic"
 )
 
@@ -188,21 +191,49 @@ type MitigationStats struct {
 
 // MitigationSweep runs the §4.3 sweep under both regimes.
 func MitigationSweep(m *capacity.Model, d *hypergiant.Deployment, isps []inet.ASN) MitigationStats {
+	st, _ := MitigationSweepContext(context.Background(), m, d, isps, 1)
+	return st
+}
+
+// MitigationSweepContext is MitigationSweep with cancellation and a worker
+// pool; each ISP's shared-vs-isolated scenario pair is one task, and the
+// aggregates are commutative sums, so the stats match at any worker count.
+func MitigationSweepContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment, isps []inet.ASN, workers int) (MitigationStats, error) {
+	type outcome struct {
+		ok               bool
+		shared, isolated float64
+		neutralized      bool
+	}
+	outs, err := par.Map(ctx, len(isps), par.Options{Workers: workers, Name: "mitigation-sweep"},
+		func(_ context.Context, i int) (outcome, error) {
+			fid, nHGs := TopFacility(d, isps[i])
+			if nHGs <= 0 {
+				return outcome{}, nil
+			}
+			sc := DefaultScenario()
+			sc.SharedHeadroom = 1.1
+			sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
+			rep := SimulateIsolated(m, d, sc)
+			return outcome{
+				ok:          true,
+				shared:      float64(len(rep.CollateralISPs)),
+				isolated:    float64(len(rep.IsolatedCollateralISPs)),
+				neutralized: len(rep.CollateralISPs) > 0 && len(rep.IsolatedCollateralISPs) == 0,
+			}, nil
+		})
+	if err != nil {
+		return MitigationStats{}, err
+	}
 	var st MitigationStats
 	var shared, isolated float64
-	for _, as := range isps {
-		fid, nHGs := TopFacility(d, as)
-		if nHGs <= 0 {
+	for _, o := range outs {
+		if !o.ok {
 			continue
 		}
-		sc := DefaultScenario()
-		sc.SharedHeadroom = 1.1
-		sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
-		rep := SimulateIsolated(m, d, sc)
 		st.Scenarios++
-		shared += float64(len(rep.CollateralISPs))
-		isolated += float64(len(rep.IsolatedCollateralISPs))
-		if len(rep.CollateralISPs) > 0 && len(rep.IsolatedCollateralISPs) == 0 {
+		shared += o.shared
+		isolated += o.isolated
+		if o.neutralized {
 			st.ScenariosFullyNeutralized++
 		}
 	}
@@ -210,5 +241,5 @@ func MitigationSweep(m *capacity.Model, d *hypergiant.Deployment, isps []inet.AS
 		st.MeanCollateralShared = shared / float64(st.Scenarios)
 		st.MeanCollateralIsolated = isolated / float64(st.Scenarios)
 	}
-	return st
+	return st, nil
 }

@@ -1,11 +1,13 @@
 package cascade
 
 import (
+	"context"
 	"sort"
 
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/rngutil"
 )
 
@@ -48,10 +50,18 @@ func (r RiskCurve) AtLeast(users float64) float64 {
 
 // MonteCarlo samples `trials` scenarios, each failing k uniformly random
 // offnet-hosting facilities at peak, and returns the exceedance curve of
-// affected users.
+// affected users. Each trial draws its facility sample from an independent
+// substream derived from (seed, trial), so the curve is invariant to worker
+// count and scheduling.
 func MonteCarlo(m *capacity.Model, d *hypergiant.Deployment, k, trials int, seed int64) RiskCurve {
+	rc, _ := MonteCarloContext(context.Background(), m, d, k, trials, seed, 1)
+	return rc
+}
+
+// MonteCarloContext is MonteCarlo with cancellation and a worker-pool knob;
+// trials run concurrently and merge in trial order.
+func MonteCarloContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment, k, trials int, seed int64, workers int) (RiskCurve, error) {
 	w := d.World
-	r := rngutil.New(seed ^ 0x415c)
 
 	// Facilities actually hosting offnets.
 	facSet := make(map[inet.FacilityID]bool)
@@ -67,20 +77,36 @@ func MonteCarlo(m *capacity.Model, d *hypergiant.Deployment, k, trials int, seed
 		k = len(facs)
 	}
 	if k < 1 || trials < 1 {
-		return RiskCurve{}
+		return RiskCurve{}, nil
+	}
+
+	type outcome struct {
+		hgs      float64
+		affected float64
+	}
+	outs, err := par.Map(ctx, trials, par.Options{Workers: workers, Name: "risk-trials"},
+		func(_ context.Context, trial int) (outcome, error) {
+			r := rngutil.New(rngutil.Derive(seed, 0x415c, int64(trial)))
+			sc := DefaultScenario()
+			sc.FailFacilities = make(map[inet.FacilityID]bool, k)
+			for _, idx := range rngutil.SampleWithoutReplacement(r, len(facs), k) {
+				sc.FailFacilities[facs[idx]] = true
+			}
+			rep := Simulate(m, d, sc)
+			return outcome{
+				hgs:      float64(len(rep.HGsImpacted)),
+				affected: rep.DirectUsers(w) + rep.CollateralUsers(w),
+			}, nil
+		})
+	if err != nil {
+		return RiskCurve{}, err
 	}
 
 	affected := make([]float64, 0, trials)
 	var hgSum float64
-	for trial := 0; trial < trials; trial++ {
-		sc := DefaultScenario()
-		sc.FailFacilities = make(map[inet.FacilityID]bool, k)
-		for _, idx := range rngutil.SampleWithoutReplacement(r, len(facs), k) {
-			sc.FailFacilities[facs[idx]] = true
-		}
-		rep := Simulate(m, d, sc)
-		hgSum += float64(len(rep.HGsImpacted))
-		affected = append(affected, rep.DirectUsers(w)+rep.CollateralUsers(w))
+	for _, o := range outs {
+		hgSum += o.hgs
+		affected = append(affected, o.affected)
 	}
 
 	sort.Float64s(affected)
@@ -97,7 +123,7 @@ func MonteCarlo(m *capacity.Model, d *hypergiant.Deployment, k, trials int, seed
 		MeanAffected: sum / float64(trials),
 		MeanHGs:      hgSum / float64(trials),
 		Curve:        curve,
-	}
+	}, nil
 }
 
 // Decolocate builds the counterfactual deployment: within every ISP, each

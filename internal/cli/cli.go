@@ -1,0 +1,102 @@
+// Package cli holds the flag surface shared by every command in cmd/: one
+// registration point so -seed, -tiny, -large, -v, -workers and -debug-addr
+// are spelled, defaulted and documented identically everywhere, plus the
+// common startup plumbing (logger, SIGINT-cancelled context, debug
+// endpoints wired to that context).
+package cli
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"offnetrisk"
+	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
+)
+
+// Common is the flag set every command shares.
+type Common struct {
+	Seed      int64
+	Tiny      bool
+	Large     bool
+	Verbose   bool
+	Workers   int
+	DebugAddr string
+}
+
+// Register installs the shared flags on fs. Call before the command's own
+// flags and before flag.Parse.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", 42, "world seed")
+	fs.BoolVar(&c.Tiny, "tiny", false, "use the miniature test world")
+	fs.BoolVar(&c.Large, "large", false, "use the large (paper-sized) world")
+	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) logging")
+	fs.IntVar(&c.Workers, "workers", 0, "parallel workers for experiment stages (0 = GOMAXPROCS)")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Scale maps -tiny/-large onto the pipeline scale.
+func (c *Common) Scale() offnetrisk.Scale {
+	switch {
+	case c.Tiny:
+		return offnetrisk.ScaleTiny
+	case c.Large:
+		return offnetrisk.ScaleLarge
+	default:
+		return offnetrisk.ScaleDefault
+	}
+}
+
+// WorldConfig maps -tiny/-large onto a raw world config, for commands that
+// generate a world directly instead of going through a Pipeline.
+func (c *Common) WorldConfig() inet.Config {
+	switch {
+	case c.Tiny:
+		return inet.TinyConfig(c.Seed)
+	case c.Large:
+		return inet.LargeConfig(c.Seed)
+	default:
+		return inet.DefaultConfig(c.Seed)
+	}
+}
+
+// Logger sets up the command's structured logger at the -v-selected level.
+func (c *Common) Logger(cmd string) *slog.Logger {
+	return obs.SetupCLI(cmd, c.Verbose)
+}
+
+// Pipeline builds the pipeline for the selected seed, scale and workers.
+func (c *Common) Pipeline() *offnetrisk.Pipeline {
+	p := offnetrisk.NewPipeline(c.Seed, c.Scale())
+	p.Workers = c.Workers
+	return p
+}
+
+// Context returns a context cancelled by SIGINT/SIGTERM, so ^C aborts
+// in-flight experiment stages cleanly instead of killing the process
+// mid-write. The returned stop must be deferred.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// StartDebug serves the debug endpoints when -debug-addr is set and ties
+// their shutdown to ctx, closing the listener (and its accept goroutine)
+// when the command is cancelled. No-op with an empty address.
+func (c *Common) StartDebug(ctx context.Context, tr *obs.Tracer, logger *slog.Logger) error {
+	if c.DebugAddr == "" {
+		return nil
+	}
+	addr, stop, err := obs.ServeDebug(c.DebugAddr, tr)
+	if err != nil {
+		return err
+	}
+	context.AfterFunc(ctx, stop)
+	logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
+	return nil
+}

@@ -6,6 +6,7 @@
 package coloc
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -13,6 +14,7 @@ import (
 	"offnetrisk/internal/mlab"
 	"offnetrisk/internal/obs"
 	"offnetrisk/internal/optics"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/stats"
 	"offnetrisk/internal/traffic"
 )
@@ -77,19 +79,32 @@ func PairDistance(a, b []float64, sites []int, exclude float64) float64 {
 // DistanceMatrix builds the symmetric pairwise distance matrix for an ISP's
 // measurements.
 func DistanceMatrix(ms []*mlab.Measurement, sites []int, exclude float64) [][]float64 {
+	m, _ := DistanceMatrixContext(context.Background(), ms, sites, exclude, 1)
+	return m
+}
+
+// DistanceMatrixContext is DistanceMatrix fanned out one row per task:
+// task i computes m[i][j] and m[j][i] for all j > i, cell sets that are
+// provably disjoint across tasks, so any worker count fills the same
+// matrix. Distances are pure functions of the inputs — no RNG to thread.
+func DistanceMatrixContext(ctx context.Context, ms []*mlab.Measurement, sites []int, exclude float64, workers int) ([][]float64, error) {
 	n := len(ms)
 	m := make([][]float64, n)
 	for i := range m {
 		m[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	err := par.ForEach(ctx, n, par.Options{Workers: workers, Name: "distance-matrix"}, func(_ context.Context, i int) error {
 		for j := i + 1; j < n; j++ {
 			d := PairDistance(ms[i].RTTms, ms[j].RTTms, sites, exclude)
 			m[i][j], m[j][i] = d, d
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	mDistancesComputed.Add(int64(n * (n - 1) / 2))
-	return m
+	return m, nil
 }
 
 // XiResult is the clustering outcome for one ISP at one ξ.
@@ -132,25 +147,51 @@ type Analysis struct {
 // Analyze clusters every usable ISP at each ξ. MinPts is fixed at the
 // paper's n_min = 2.
 func Analyze(w *inet.World, c *mlab.Campaign, xis []float64) *Analysis {
+	a, _ := AnalyzeContext(context.Background(), w, c, xis, 1)
+	return a
+}
+
+// AnalyzeContext is Analyze fanned out one ISP per task (ascending ASN):
+// each task builds its own distance matrix and OPTICS orderings, touching
+// nothing shared, so the per-ISP results are identical at any worker count.
+func AnalyzeContext(ctx context.Context, w *inet.World, c *mlab.Campaign, xis []float64, workers int) (*Analysis, error) {
 	a := &Analysis{Xis: xis, PerISP: make(map[inet.ASN]*ISPResult)}
 	mISPsAnalyzed.Add(int64(len(c.ByISP)))
-	for as, ms := range c.ByISP {
-		sites := c.GoodSites[as]
-		dm := DistanceMatrix(ms, sites, DiscrepancyExclusion)
-		dist := func(i, j int) float64 { return dm[i][j] }
-
-		res := &ISPResult{ASN: as, PerXi: make(map[float64]*XiResult)}
-		if isp, ok := w.ISPs[as]; ok {
-			res.Users = isp.Users
-		}
-		res.HGs = hostedHGs(ms)
-		for _, xi := range xis {
-			labels := optics.ClusterXi(len(ms), dist, 2, xi)
-			res.PerXi[xi] = summarize(ms, labels)
-		}
-		a.PerISP[as] = res
+	asns := make([]inet.ASN, 0, len(c.ByISP))
+	for as := range c.ByISP {
+		asns = append(asns, as)
 	}
-	return a
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	results, err := par.Map(ctx, len(asns), par.Options{Workers: workers, Name: "optics-cluster"},
+		func(_ context.Context, i int) (*ISPResult, error) {
+			as := asns[i]
+			ms := c.ByISP[as]
+			sites := c.GoodSites[as]
+			dm, err := DistanceMatrixContext(ctx, ms, sites, DiscrepancyExclusion, 1)
+			if err != nil {
+				return nil, err
+			}
+			dist := func(i, j int) float64 { return dm[i][j] }
+
+			res := &ISPResult{ASN: as, PerXi: make(map[float64]*XiResult)}
+			if isp, ok := w.ISPs[as]; ok {
+				res.Users = isp.Users
+			}
+			res.HGs = hostedHGs(ms)
+			for _, xi := range xis {
+				labels := optics.ClusterXi(len(ms), dist, 2, xi)
+				res.PerXi[xi] = summarize(ms, labels)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		a.PerISP[asns[i]] = res
+	}
+	return a, nil
 }
 
 // hostedHGs lists the distinct hypergiants among measurements, in canonical

@@ -14,6 +14,7 @@
 package mlab
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -21,6 +22,7 @@ import (
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/rngutil"
 )
 
@@ -92,6 +94,11 @@ type Config struct {
 	// successful measurements to all their offnets are discarded (100 in
 	// the paper).
 	MinSites int
+	// Workers bounds the campaign's fan-out across targets; <= 0 means
+	// GOMAXPROCS. Any worker count produces identical results: every
+	// (site, target) probe stream is derived independently, never advanced
+	// across targets.
+	Workers int
 }
 
 // DefaultConfig mirrors Appendix A with 163 sites assumed.
@@ -140,6 +147,15 @@ type Campaign struct {
 
 // Measure runs the campaign against every offnet server in the deployment.
 func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
+	c, _ := MeasureContext(context.Background(), d, sites, cfg)
+	return c
+}
+
+// MeasureContext is Measure with cancellation: the campaign fans out across
+// targets on cfg.Workers goroutines and aborts early (returning a non-nil
+// error and no campaign) when the context is cancelled. Results are merged
+// in deployment order, so they are byte-identical at any worker count.
+func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site, cfg Config) (*Campaign, error) {
 	cfg = cfg.sanitized()
 	c := &Campaign{
 		Sites:     sites,
@@ -148,24 +164,48 @@ func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
 	}
 	w := d.World
 
-	perISP := make(map[inet.ASN][]*Measurement)
-	baseCache := make(map[inet.FacilityID][]float64)
+	// The per-facility RTT floors are shared by every server in a facility;
+	// precompute them (in parallel, keyed by ascending facility ID) so the
+	// per-target pass below is read-only on the cache.
+	var facs []inet.FacilityID
+	seen := make(map[inet.FacilityID]bool)
 	for _, s := range d.Servers {
-		if !s.Responsive {
-			c.Unresponsive++
-			mUnresponsive.Inc()
-			continue
+		if s.Responsive && !s.Anycast && !seen[s.Facility] {
+			seen[s.Facility] = true
+			facs = append(facs, s.Facility)
 		}
-		if !s.Anycast {
-			if _, ok := baseCache[s.Facility]; !ok {
-				baseCache[s.Facility] = facilityBase(w.Facilities[s.Facility], sites)
-			}
+	}
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+	opts := par.Options{Workers: cfg.Workers, Name: "ping-campaign"}
+	bases, err := par.Map(ctx, len(facs), opts, func(_ context.Context, i int) ([]float64, error) {
+		return facilityBase(w.Facilities[facs[i]], sites), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseCache := make(map[inet.FacilityID][]float64, len(facs))
+	for i, fid := range facs {
+		baseCache[fid] = bases[i]
+	}
+
+	// One task per server. Each target's probe streams are derived from
+	// (seed, addr, site) — never advanced across targets — so the fan-out
+	// cannot change a single RTT.
+	type outcome struct {
+		m            *Measurement
+		unresponsive bool
+		impossible   bool
+	}
+	outcomes, err := par.Map(ctx, len(d.Servers), opts, func(_ context.Context, i int) (outcome, error) {
+		s := d.Servers[i]
+		if !s.Responsive {
+			mUnresponsive.Inc()
+			return outcome{unresponsive: true}, nil
 		}
 		m := measureServer(w, s, sites, cfg, baseCache[s.Facility])
 		if violatesSpeedOfLight(m.RTTms, sites) {
-			c.Impossible++
 			mImpossible.Inc()
-			continue
+			return outcome{impossible: true}, nil
 		}
 		for _, rtt := range m.RTTms {
 			if !math.IsNaN(rtt) {
@@ -173,8 +213,25 @@ func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
 				mRTTHist.Observe(rtt)
 			}
 		}
-		perISP[s.ISP] = append(perISP[s.ISP], m)
-		c.TotalMeasured++
+		return outcome{m: m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial merge in deployment order — identical to the old single-loop
+	// accounting.
+	perISP := make(map[inet.ASN][]*Measurement)
+	for i, o := range outcomes {
+		switch {
+		case o.unresponsive:
+			c.Unresponsive++
+		case o.impossible:
+			c.Impossible++
+		default:
+			perISP[d.Servers[i].ISP] = append(perISP[d.Servers[i].ISP], o.m)
+			c.TotalMeasured++
+		}
 	}
 
 	// Per-ISP gate: count sites with successful measurements to all offnets.
@@ -201,7 +258,7 @@ func Measure(d *hypergiant.Deployment, sites []Site, cfg Config) *Campaign {
 		c.GoodSites[as] = good
 		c.MeasuredISPs++
 	}
-	return c
+	return c, nil
 }
 
 // facilityBase precomputes, per site, the stable RTT floor toward a

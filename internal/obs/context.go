@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// spanKey is the context key carrying the current span. Spans travel by
+// context through code that fans out across goroutines: the tracer's
+// sequential cursor cannot attribute concurrent stages, but a span carried
+// explicitly can parent worker spans without races (Span.Child is
+// mutex-safe and never touches the cursor).
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span. A nil span is stored
+// as-is; SpanFromContext then returns nil and all span methods no-op.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by the context, or nil if none
+// (or a nil span) was attached. Safe to call on any context.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -18,10 +19,12 @@ import (
 //	/debug/vars     — expvar, including the offnetrisk metrics registry
 //	/debug/obs      — a live HTML span/progress + metrics page
 //
-// The tracer may be nil (the page then shows metrics only). The server runs
-// until the process exits; errors after startup are dropped, matching the
+// The tracer may be nil (the page then shows metrics only). The returned
+// close function shuts the server down and releases the listener; callers
+// hook it to context cancellation (or defer it) so the goroutine does not
+// outlive the run. Errors after startup are dropped, matching the
 // endpoint's diagnostic-only role.
-func ServeDebug(addr string, tr *Tracer) (string, error) {
+func ServeDebug(addr string, tr *Tracer) (string, func(), error) {
 	PublishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -44,10 +47,13 @@ func ServeDebug(addr string, tr *Tracer) (string, error) {
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
 	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	var once sync.Once
+	stop := func() { once.Do(func() { _ = srv.Close() }) }
+	return ln.Addr().String(), stop, nil
 }
 
 // writeObsPage renders the live span tree and metric values. It refreshes

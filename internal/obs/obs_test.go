@@ -197,10 +197,11 @@ func TestServeDebug(t *testing.T) {
 	tr := NewTracer()
 	sp := tr.Start("stage-one")
 	sp.End()
-	addr, err := ServeDebug("127.0.0.1:0", tr)
+	addr, stop, err := ServeDebug("127.0.0.1:0", tr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer stop()
 	for _, path := range []string{"/debug/obs", "/debug/vars", "/debug/pprof/"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {

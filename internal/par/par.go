@@ -1,0 +1,177 @@
+// Package par is the reproduction's deterministic fan-out substrate: a
+// bounded worker pool whose results are collected index-addressed, so the
+// output of a parallel loop is identical — byte for byte — to the serial
+// loop it replaced, at any worker count.
+//
+// Determinism rests on two rules the callers follow (DESIGN.md §8):
+//
+//  1. Tasks never share mutable state; each task i writes only results[i].
+//  2. Tasks never advance a shared RNG; any randomness comes from a
+//     substream derived per task (rngutil.Derive) so consumption order
+//     cannot depend on scheduling.
+//
+// Under those rules Map's merge order equals input order regardless of how
+// the scheduler interleaves workers, and workers=1 reproduces the old
+// serial behaviour exactly.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"offnetrisk/internal/obs"
+)
+
+// Options tunes a fan-out. The zero value is valid: GOMAXPROCS workers, no
+// span attribution.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Name labels per-worker spans ("<Name>/worker-<w>"); empty disables
+	// span attribution even when the context carries a span.
+	Name string
+}
+
+// Workers normalizes a worker-count knob: n when positive, otherwise
+// GOMAXPROCS. Shared by everything exposing a Workers field.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// panicError carries a recovered task panic to the caller as an error.
+type panicError struct {
+	index int
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v\n%s", e.index, e.value, e.stack)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) across a bounded worker pool
+// and returns the results in input order. The first failure (lowest task
+// index, so the choice is deterministic even when several tasks fail
+// concurrently) cancels the remaining tasks and is returned; a task panic
+// is captured as an error rather than crashing the process. When the
+// parent context is cancelled mid-flight, Map stops claiming tasks and
+// returns the context's error.
+//
+// When opts.Name is set and ctx carries a span (obs.ContextWithSpan), each
+// worker opens a "<Name>/worker-<w>" child span counting the tasks it ran;
+// the context passed to fn carries the worker's span so task code can
+// attach children of its own. Span attribution is observability-only — it
+// never alters results.
+func Map[R any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := Workers(opts.Workers)
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]R, n)
+	errs := make([]error, n)
+	parent := obs.SpanFromContext(ctx)
+
+	// Workers claim indices from an atomic cursor; each task writes only
+	// its own slot, so the interleaving never matters. workers==1 runs the
+	// same loop on the calling goroutine — the serial case is not special.
+	pctx := ctx
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var failed atomic.Bool
+	work := func(w int) {
+		wctx := cctx
+		var ws *obs.Span
+		if opts.Name != "" && parent != nil {
+			ws = parent.Child(fmt.Sprintf("%s/worker-%d", opts.Name, w))
+			ws.SetAttr("worker", w)
+			wctx = obs.ContextWithSpan(cctx, ws)
+		}
+		tasks := 0
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n || cctx.Err() != nil {
+				break
+			}
+			tasks++
+			if err := runTask(wctx, i, fn, results); err != nil {
+				errs[i] = err
+				failed.Store(true)
+				cancel() // stop claiming; finished slots stay valid
+				break
+			}
+		}
+		if ws != nil {
+			ws.SetAttr("tasks", tasks)
+			ws.End()
+		}
+	}
+
+	if workers == 1 {
+		work(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				work(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if failed.Load() {
+		// Deterministic error selection: the lowest-index failure, however
+		// the workers happened to interleave.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := pctx.Err(); err != nil {
+		// Cancelled from outside mid-flight (we only cancel cctx ourselves
+		// on task failure, which returned above).
+		return nil, err
+	}
+	return results, nil
+}
+
+// runTask executes one task with panic capture, writing its result slot.
+func runTask[R any](ctx context.Context, i int, fn func(ctx context.Context, i int) (R, error), results []R) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{index: i, value: r, stack: debug.Stack()}
+		}
+	}()
+	r, err := fn(ctx, i)
+	if err != nil {
+		return err
+	}
+	results[i] = r
+	return nil
+}
+
+// ForEach is Map for side-effect-only tasks (each task must still write
+// only state owned by its index).
+func ForEach(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, opts, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

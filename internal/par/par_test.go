@@ -1,0 +1,246 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"offnetrisk/internal/obs"
+	"offnetrisk/internal/rngutil"
+)
+
+// TestMapOrderStability: results land in input order no matter how workers
+// interleave. Tasks sleep in a scheduling-hostile pattern (later indices
+// finish first) to shake out any completion-order dependence.
+func TestMapOrderStability(t *testing.T) {
+	const n = 64
+	got, err := Map(context.Background(), n, Options{Workers: 8}, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapWorkerEquivalence: workers=1 and workers=N produce identical
+// results when tasks derive their randomness per index — the determinism
+// contract the pipeline relies on.
+func TestMapWorkerEquivalence(t *testing.T) {
+	const n = 50
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), n, Options{Workers: workers}, func(_ context.Context, i int) (float64, error) {
+			r := rngutil.New(rngutil.Derive(99, int64(i)))
+			return r.Float64() + float64(r.Intn(10)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0), n + 3} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d diverged from workers=1:\n%v\n%v", w, got, serial)
+		}
+	}
+}
+
+// TestMapCancellationMidFlight: cancelling the parent context stops the
+// pool before it drains the input and surfaces the context error.
+func TestMapCancellationMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 1000
+	_, err := Map(ctx, n, Options{Workers: 4}, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= n {
+		t.Fatalf("all %d tasks ran despite mid-flight cancellation", n)
+	}
+}
+
+// TestMapPreCancelled: a context cancelled before the call runs no tasks.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Map(ctx, 10, Options{}, func(context.Context, int) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("task ran under a pre-cancelled context")
+	}
+}
+
+// TestMapPanicCapture: a panicking task becomes an error naming the task
+// and carrying the panic value, instead of crashing the process.
+func TestMapPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), 20, Options{Workers: workers}, func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				panic("boom at seven")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not converted to error", workers)
+		}
+		if !strings.Contains(err.Error(), "task 7") || !strings.Contains(err.Error(), "boom at seven") {
+			t.Fatalf("workers=%d: error %q does not identify the panic", workers, err)
+		}
+	}
+}
+
+// TestMapFirstErrorDeterministic: when several tasks fail, the
+// lowest-index error wins regardless of worker interleaving.
+func TestMapFirstErrorDeterministic(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(context.Background(), 40, Options{Workers: 8}, func(_ context.Context, i int) (int, error) {
+			if i%3 == 1 { // tasks 1, 4, 7, ... fail
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		// Task 1 is the lowest failing index; workers may or may not have
+		// reached later failing indices, but the reported error must be
+		// the smallest index among those that did fail.
+		if !strings.Contains(err.Error(), "task 1 ") && !strings.HasSuffix(err.Error(), "task 1 failed") {
+			t.Fatalf("trial %d: got %q, want the lowest-index failure (task 1)", trial, err)
+		}
+	}
+}
+
+// TestMapErrorStopsClaiming: after a failure the pool cancels outstanding
+// work instead of draining the whole input.
+func TestMapErrorStopsClaiming(t *testing.T) {
+	var ran atomic.Int64
+	const n = 10000
+	_, err := Map(context.Background(), n, Options{Workers: 4}, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		time.Sleep(50 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d tasks ran despite an early failure", n)
+	}
+}
+
+// TestMapEmpty: n <= 0 returns no results and no error.
+func TestMapEmpty(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		got, err := Map(context.Background(), n, Options{}, func(context.Context, int) (int, error) {
+			t.Fatal("task ran for empty input")
+			return 0, nil
+		})
+		if err != nil || got != nil {
+			t.Fatalf("n=%d: got (%v, %v), want (nil, nil)", n, got, err)
+		}
+	}
+}
+
+// TestMapWorkerSpans: with a span in the context and a Name set, each
+// worker records a child span and the per-worker task counts cover the
+// whole input exactly once.
+func TestMapWorkerSpans(t *testing.T) {
+	tr := obs.NewTracer()
+	root := tr.Start("fanout")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	const n, workers = 30, 3
+	if _, err := Map(ctx, n, Options{Workers: workers, Name: "stage"}, func(ctx context.Context, i int) (int, error) {
+		if obs.SpanFromContext(ctx) == nil {
+			t.Error("task context lost its worker span")
+		}
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	snap := tr.Snapshot(time.Time{})
+	if len(snap) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap))
+	}
+	children := snap[0].Children
+	if len(children) != workers {
+		t.Fatalf("want %d worker spans, got %d", workers, len(children))
+	}
+	total := 0
+	for _, c := range children {
+		if !strings.HasPrefix(c.Name, "stage/worker-") {
+			t.Fatalf("unexpected worker span name %q", c.Name)
+		}
+		if !c.Ended {
+			t.Fatalf("worker span %q never ended", c.Name)
+		}
+		tasks, ok := c.Attrs["tasks"].(int)
+		if !ok {
+			t.Fatalf("worker span %q missing tasks attr", c.Name)
+		}
+		total += tasks
+	}
+	if total != n {
+		t.Fatalf("worker task counts sum to %d, want %d", total, n)
+	}
+}
+
+// TestForEach: the side-effect variant visits every index exactly once.
+func TestForEach(t *testing.T) {
+	const n = 100
+	seen := make([]atomic.Int64, n)
+	if err := ForEach(context.Background(), n, Options{Workers: 7}, func(_ context.Context, i int) error {
+		seen[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+// TestWorkers: the knob normalizer.
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}

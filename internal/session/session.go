@@ -11,6 +11,7 @@
 package session
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -19,6 +20,7 @@ import (
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/rngutil"
 	"offnetrisk/internal/traffic"
 )
@@ -82,6 +84,10 @@ type Config struct {
 	// CongestedRTTPenaltyMs is added per unit of over-utilization on a
 	// congested shared link (bufferbloat/queueing under overload).
 	CongestedRTTPenaltyMs float64
+	// Workers bounds RunContext's fan-out across host ISPs; <= 0 means
+	// GOMAXPROCS. Each ISP already draws from its own seed-derived RNG
+	// stream, so sessions are identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the simulation defaults.
@@ -93,6 +99,14 @@ func DefaultConfig(seed int64) Config {
 // serving split and link state of a cascade report (use a no-failure
 // scenario for the baseline).
 func Run(m *capacity.Model, d *hypergiant.Deployment, rep *cascade.Report, cfg Config) []Session {
+	out, _ := RunContext(context.Background(), m, d, rep, cfg)
+	return out
+}
+
+// RunContext is Run with cancellation, simulating each host ISP's sessions
+// as one task on cfg.Workers goroutines and concatenating the per-ISP
+// session batches in ascending-ASN order.
+func RunContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment, rep *cascade.Report, cfg Config) ([]Session, error) {
 	if cfg.PerISP <= 0 {
 		cfg.PerISP = 40
 	}
@@ -125,53 +139,66 @@ func Run(m *capacity.Model, d *hypergiant.Deployment, rep *cascade.Report, cfg C
 		}
 	}
 
-	var out []Session
+	var asns []inet.ASN
 	for _, as := range d.HostingISPs() {
-		isp := w.ISPs[as]
-		if !isp.IsAccess() {
-			continue
-		}
-		r := rngutil.New(cfg.Seed ^ int64(as)*0x9e3779b9)
-		userLoc := isp.Metros[0].Loc
-		for i := 0; i < cfg.PerISP; i++ {
-			hg := pickHG(r)
-			f, ok := flowOf[key{hg, as}]
-			if !ok || f.Demand <= 0 {
-				// The hypergiant has no local deployment: served onnet via
-				// transit.
-				s := Session{ISP: as, HG: hg, Origin: FromTransit}
-				s.RTTms = onnetRTT(userLoc, r)
-				s.RTTms += transitPenalty(isp, congTr, cfg, r, &s)
-				out = append(out, s)
-				continue
-			}
-			origin := drawOrigin(r, f)
-			s := Session{ISP: as, HG: hg, Origin: origin}
-			switch origin {
-			case FromOffnet:
-				// Local: metro-scale RTT.
-				s.RTTms = 2 + 8*r.Float64()
-			case FromPNI:
-				s.RTTms = edgeRTT(userLoc, r)
-			case FromIXP:
-				s.RTTms = edgeRTT(userLoc, r)
-				if id, ok := m.IXPIDOf[hg][as]; ok {
-					if over, bad := congIXP[id]; bad {
-						s.RTTms += cfg.CongestedRTTPenaltyMs * (1 + over)
-						s.Dropped = r.Float64() < math.Min(0.5, over)
-					}
-				}
-			case FromUpstreamOffnet:
-				s.RTTms = edgeRTT(userLoc, r) + 10
-				s.RTTms += transitPenalty(isp, congTr, cfg, r, &s)
-			default:
-				s.RTTms = onnetRTT(userLoc, r)
-				s.RTTms += transitPenalty(isp, congTr, cfg, r, &s)
-			}
-			out = append(out, s)
+		if w.ISPs[as].IsAccess() {
+			asns = append(asns, as)
 		}
 	}
-	return out
+	batches, err := par.Map(ctx, len(asns), par.Options{Workers: cfg.Workers, Name: "sessions"},
+		func(_ context.Context, idx int) ([]Session, error) {
+			as := asns[idx]
+			isp := w.ISPs[as]
+			r := rngutil.New(cfg.Seed ^ int64(as)*0x9e3779b9)
+			userLoc := isp.Metros[0].Loc
+			batch := make([]Session, 0, cfg.PerISP)
+			for i := 0; i < cfg.PerISP; i++ {
+				hg := pickHG(r)
+				f, ok := flowOf[key{hg, as}]
+				if !ok || f.Demand <= 0 {
+					// The hypergiant has no local deployment: served onnet via
+					// transit.
+					s := Session{ISP: as, HG: hg, Origin: FromTransit}
+					s.RTTms = onnetRTT(userLoc, r)
+					s.RTTms += transitPenalty(isp, congTr, cfg, r, &s)
+					batch = append(batch, s)
+					continue
+				}
+				origin := drawOrigin(r, f)
+				s := Session{ISP: as, HG: hg, Origin: origin}
+				switch origin {
+				case FromOffnet:
+					// Local: metro-scale RTT.
+					s.RTTms = 2 + 8*r.Float64()
+				case FromPNI:
+					s.RTTms = edgeRTT(userLoc, r)
+				case FromIXP:
+					s.RTTms = edgeRTT(userLoc, r)
+					if id, ok := m.IXPIDOf[hg][as]; ok {
+						if over, bad := congIXP[id]; bad {
+							s.RTTms += cfg.CongestedRTTPenaltyMs * (1 + over)
+							s.Dropped = r.Float64() < math.Min(0.5, over)
+						}
+					}
+				case FromUpstreamOffnet:
+					s.RTTms = edgeRTT(userLoc, r) + 10
+					s.RTTms += transitPenalty(isp, congTr, cfg, r, &s)
+				default:
+					s.RTTms = onnetRTT(userLoc, r)
+					s.RTTms += transitPenalty(isp, congTr, cfg, r, &s)
+				}
+				batch = append(batch, s)
+			}
+			return batch, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Session
+	for _, batch := range batches {
+		out = append(out, batch...)
+	}
+	return out, nil
 }
 
 // pickHG draws a hypergiant proportional to traffic share.

@@ -8,6 +8,7 @@
 package tracert
 
 import (
+	"context"
 	"fmt"
 
 	"offnetrisk/internal/bgp"
@@ -15,6 +16,7 @@ import (
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/netaddr"
 	"offnetrisk/internal/obs"
+	"offnetrisk/internal/par"
 	"offnetrisk/internal/traffic"
 )
 
@@ -54,6 +56,10 @@ type Config struct {
 	// SilentRouterFraction is the probability a given router interface
 	// never answers traceroute probes (stable per address).
 	SilentRouterFraction float64
+	// Workers bounds the survey's fan-out across destination ISPs; <= 0
+	// means GOMAXPROCS. Hop responsiveness is a pure per-address hash, so
+	// traces are identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's scale knobs.
@@ -81,6 +87,16 @@ func (c Config) sanitized() Config {
 // AS-level hop from the hypergiant and everything else is reached through
 // the transit hierarchy.
 func Survey(d *hypergiant.Deployment, hg traffic.HG, cfg Config) map[inet.ASN][]Trace {
+	out, _ := SurveyContext(context.Background(), d, hg, cfg)
+	return out
+}
+
+// SurveyContext is Survey with cancellation, fanned out one destination ISP
+// per task on cfg.Workers goroutines. Every task runs its own BGP path
+// computation over the shared (read-only) relationship graph and emits that
+// ISP's traces; per-ISP trace slices are merged in ascending-ASN order, so
+// the survey is byte-identical at any worker count.
+func SurveyContext(ctx context.Context, d *hypergiant.Deployment, hg traffic.HG, cfg Config) (map[inet.ASN][]Trace, error) {
 	cfg = cfg.sanitized()
 	w := d.World
 	hgAS := d.ContentAS[hg]
@@ -102,23 +118,38 @@ func Survey(d *hypergiant.Deployment, hg traffic.HG, cfg Config) map[inet.ASN][]
 		}
 	}
 
-	out := make(map[inet.ASN][]Trace)
+	var isps []*inet.ISP
 	for _, isp := range w.ISPList() {
-		if isp.Tier == inet.TierContent {
-			continue
-		}
-		path := graph.PathsTo(isp.ASN).Path(hgAS)
-		targets := targetsOf(isp, cfg.TargetsPerISP)
-		for vm := 0; vm < cfg.VMs; vm++ {
-			for _, target := range targets {
-				tr := trace(w, hgISP, path, vm, target, pni[isp.ASN], ixp[isp.ASN], cfg)
-				mTracesRun.Inc()
-				mHopsPerTrace.Observe(float64(len(tr.Hops)))
-				out[isp.ASN] = append(out[isp.ASN], tr)
-			}
+		if isp.Tier != inet.TierContent {
+			isps = append(isps, isp)
 		}
 	}
-	return out
+	traces, err := par.Map(ctx, len(isps), par.Options{Workers: cfg.Workers, Name: "traceroutes"},
+		func(_ context.Context, i int) ([]Trace, error) {
+			isp := isps[i]
+			path := graph.PathsTo(isp.ASN).Path(hgAS)
+			targets := targetsOf(isp, cfg.TargetsPerISP)
+			list := make([]Trace, 0, cfg.VMs*len(targets))
+			for vm := 0; vm < cfg.VMs; vm++ {
+				for _, target := range targets {
+					tr := trace(w, hgISP, path, vm, target, pni[isp.ASN], ixp[isp.ASN], cfg)
+					mTracesRun.Inc()
+					mHopsPerTrace.Observe(float64(len(tr.Hops)))
+					list = append(list, tr)
+				}
+			}
+			return list, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[inet.ASN][]Trace, len(isps))
+	for i, list := range traces {
+		if len(list) > 0 {
+			out[isps[i].ASN] = list
+		}
+	}
+	return out, nil
 }
 
 // targetsOf picks one address per /24 for up to n of the ISP's /24s.

@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,6 +33,15 @@ type MappingResult struct {
 // MappingStudy runs the Calder-2013 ECS mapping technique against both
 // steering eras on the 2023 deployment.
 func (p *Pipeline) MappingStudy() (*MappingResult, error) {
+	return p.MappingStudyContext(context.Background())
+}
+
+// MappingStudyContext is MappingStudy with cancellation (the ECS probes are
+// cheap and serial, so the context only gates entry).
+func (p *Pipeline) MappingStudyContext(ctx context.Context) (*MappingResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	root := p.span("mapping-study")
 	defer root.End()
 	w, d, err := p.deployment(hypergiant.Epoch2023)
@@ -94,6 +104,12 @@ type MitigationResult struct {
 
 // MitigationStudy sweeps top-facility failures under both regimes.
 func (p *Pipeline) MitigationStudy() (*MitigationResult, error) {
+	return p.MitigationStudyContext(context.Background())
+}
+
+// MitigationStudyContext is MitigationStudy with cancellation; the
+// shared-vs-isolated sweep fans out across p.Workers goroutines.
+func (p *Pipeline) MitigationStudyContext(ctx context.Context) (*MitigationResult, error) {
 	root := p.span("mitigation-study")
 	defer root.End()
 	_, d, err := p.deployment(hypergiant.Epoch2023)
@@ -101,8 +117,12 @@ func (p *Pipeline) MitigationStudy() (*MitigationResult, error) {
 		return nil, err
 	}
 	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
-	sp := p.span("mitigation-study/sweep")
-	st := cascade.MitigationSweep(m, d, d.HostingISPs())
+	sctx, sp := p.spanCtx(ctx, "mitigation-study/sweep")
+	st, err := cascade.MitigationSweepContext(sctx, m, d, d.HostingISPs(), p.Workers)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	sp.SetAttr("scenarios", st.Scenarios)
 	sp.End()
 	out := &MitigationResult{

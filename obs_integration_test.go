@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -52,8 +53,10 @@ func runAll(t *testing.T, p *Pipeline) string {
 }
 
 // TestInstrumentationDeterminism is the zero-perturbation guard: attaching a
-// tracer must not change a single byte of any experiment's output. Spans and
-// metrics observe the pipeline; they must never feed back into it.
+// tracer must not change a single byte of any experiment's output, and
+// neither may the worker count — the parallel substrate merges results in
+// input order and every task derives its own RNG substream, so Workers
+// trades wall-clock time only.
 func TestInstrumentationDeterminism(t *testing.T) {
 	plain := runAll(t, NewPipeline(42, ScaleTiny))
 
@@ -67,6 +70,37 @@ func TestInstrumentationDeterminism(t *testing.T) {
 	}
 	if len(tr.Roots()) == 0 {
 		t.Fatal("instrumented run recorded no spans")
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		p := NewPipeline(42, ScaleTiny)
+		p.Workers = workers
+		if got := runAll(t, p); got != plain {
+			t.Fatalf("Workers=%d diverged from the default run", workers)
+		}
+	}
+}
+
+// TestConformanceWorkerDeterminism proves the full conformance suite — every
+// experiment plus the sensitivity sweeps — renders byte-identically across
+// worker counts, instrumented or not.
+func TestConformanceWorkerDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		p := NewPipeline(42, ScaleTiny)
+		p.Workers = workers
+		p.Instrument(obs.NewTracer())
+		suite, err := p.Conformance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return suite.Markdown()
+	}
+	serial := render(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(workers); got != serial {
+			t.Fatalf("Workers=%d conformance output diverged from Workers=1:\n%s\nvs\n%s",
+				workers, got, serial)
+		}
 	}
 }
 

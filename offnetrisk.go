@@ -21,12 +21,14 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
+	"offnetrisk/internal/par"
 )
 
 // Scale selects how large a synthetic Internet the pipeline builds.
@@ -46,6 +48,14 @@ const (
 type Pipeline struct {
 	Seed  int64
 	Scale Scale
+
+	// Workers bounds the worker pools behind every parallel experiment
+	// stage (ping campaign, OPTICS clustering, peering survey, scenario
+	// sweeps, Monte Carlo trials); <= 0 means GOMAXPROCS. All per-task
+	// randomness is derived per unit of work (rngutil.Derive and friends),
+	// so results are bit-for-bit identical at any worker count — Workers
+	// trades wall-clock time only, never output.
+	Workers int
 
 	// tracer records per-stage spans when instrumentation is attached via
 	// Instrument; nil (the default) disables tracing at zero cost. Tracing
@@ -79,6 +89,18 @@ func (p *Pipeline) Tracer() *obs.Tracer { return p.tracer }
 // span whose methods are no-ops.
 func (p *Pipeline) span(name string) *obs.Span {
 	return p.tracer.Start(name)
+}
+
+// spanCtx opens a span and returns a context carrying it, so parallel
+// stages downstream can attribute per-worker child spans to it.
+func (p *Pipeline) spanCtx(ctx context.Context, name string) (context.Context, *obs.Span) {
+	sp := p.tracer.Start(name)
+	return obs.ContextWithSpan(ctx, sp), sp
+}
+
+// workers normalizes the pipeline's Workers knob.
+func (p *Pipeline) workers() int {
+	return par.Workers(p.Workers)
 }
 
 // String names the scale for logs and manifests.

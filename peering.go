@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,13 +48,25 @@ func pct(n, d int) float64 {
 // PeeringSurvey runs the §4.2.1 traceroute campaign and inference for
 // Google.
 func (p *Pipeline) PeeringSurvey() (*PeeringSurveyResult, error) {
-	return p.PeeringSurveyFor(traffic.Google)
+	return p.PeeringSurveyContext(context.Background())
+}
+
+// PeeringSurveyContext is PeeringSurvey with cancellation.
+func (p *Pipeline) PeeringSurveyContext(ctx context.Context) (*PeeringSurveyResult, error) {
+	return p.PeeringSurveyForContext(ctx, traffic.Google)
 }
 
 // PeeringSurveyFor runs the survey for any hypergiant — something the paper
 // could not do ("We cannot run measurements from Meta, Netflix, or Akamai")
 // but the simulation can.
 func (p *Pipeline) PeeringSurveyFor(hg traffic.HG) (*PeeringSurveyResult, error) {
+	return p.PeeringSurveyForContext(context.Background(), hg)
+}
+
+// PeeringSurveyForContext is PeeringSurveyFor with cancellation; the
+// traceroute campaign fans out one destination ISP per task across
+// p.Workers goroutines.
+func (p *Pipeline) PeeringSurveyForContext(ctx context.Context, hg traffic.HG) (*PeeringSurveyResult, error) {
 	root := p.span("peering-survey")
 	root.SetAttr("hypergiant", hg.String())
 	defer root.End()
@@ -62,11 +75,16 @@ func (p *Pipeline) PeeringSurveyFor(hg traffic.HG) (*PeeringSurveyResult, error)
 		return nil, err
 	}
 	cfg := tracert.DefaultConfig(p.Seed)
+	cfg.Workers = p.Workers
 	if p.Scale == ScaleTiny {
 		cfg.VMs = 24
 	}
-	sp := p.span("peering-survey/traceroutes")
-	traces := tracert.Survey(d, hg, cfg)
+	sctx, sp := p.spanCtx(ctx, "peering-survey/traceroutes")
+	traces, err := tracert.SurveyContext(sctx, d, hg, cfg)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	n := 0
 	for _, list := range traces {
 		n += len(list)

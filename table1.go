@@ -1,6 +1,7 @@
 package offnetrisk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,6 +42,15 @@ type Table1Result struct {
 // 2021 epoch uses the original rules; the 2023 epoch uses this paper's
 // updated rules; the stale-rule ablation applies 2021 rules to 2023 data.
 func (p *Pipeline) Table1() (*Table1Result, error) {
+	return p.Table1Context(context.Background())
+}
+
+// Table1Context is Table1 with cancellation (the scan simulation streams
+// serially, so the context only gates entry).
+func (p *Pipeline) Table1Context(ctx context.Context) (*Table1Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	root := p.span("table1")
 	defer root.End()
 	w21, d21, err := p.deployment(hypergiant.Epoch2021)
