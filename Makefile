@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json check report
+.PHONY: build test vet race bench bench-json bench-smoke bench-compare check report
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,19 @@ bench:
 # The workers=1 vs workers=4 sub-benches of BenchmarkTable2Colocation and
 # BenchmarkSec421PeeringSurvey record the parallel-substrate speedup.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -json ./... > BENCH_$$(date +%Y-%m-%d).json
+	@f=BENCH_$$(date +%Y-%m-%d).json; n=1; \
+	while [ -e $$f ]; do n=$$((n+1)); f=BENCH_$$(date +%Y-%m-%d).$$n.json; done; \
+	$(GO) test -run '^$$' -bench . -benchmem -json ./... > $$f && echo "wrote $$f"
+
+# One iteration of every benchmark — a CI smoke test so benches can't bitrot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Benchstat-style ratios between the two most recent BENCH_*.json records.
+bench-compare:
+	@set -- $$(ls -t BENCH_*.json 2>/dev/null | head -2); \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json records" >&2; exit 1; fi; \
+	$(GO) run ./cmd/benchcompare $$2 $$1
 
 check: build vet race
 

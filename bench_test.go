@@ -368,8 +368,7 @@ func BenchmarkAblationXiVsThreshold(b *testing.B) {
 				continue
 			}
 			dm := coloc.DistanceMatrix(ms, c.GoodSites[as], coloc.DiscrepancyExclusion)
-			dist := func(x, y int) float64 { return dm[x][y] }
-			res := optics.Run(len(ms), dist, 2, math.Inf(1))
+			res := optics.Run(len(ms), dm.At, 2, math.Inf(1))
 
 			lx := res.Labels(res.ExtractXi(0.1, 2))
 			f1, _ := pairF1(ms, lx)
@@ -439,8 +438,7 @@ func BenchmarkAblationSiteExclusion(b *testing.B) {
 			}
 			for _, exclude := range []float64{coloc.DiscrepancyExclusion, 0} {
 				dm := coloc.DistanceMatrix(ms, c.GoodSites[as], exclude)
-				dist := func(x, y int) float64 { return dm[x][y] }
-				labels := optics.ClusterXi(len(ms), dist, 2, 0.1)
+				labels := optics.ClusterXi(len(ms), dm.At, 2, 0.1)
 				f1, _ := pairF1(ms, labels)
 				if exclude > 0 {
 					withF1 += f1
@@ -485,8 +483,7 @@ func BenchmarkAblationPingStat(b *testing.B) {
 					continue
 				}
 				dm := coloc.DistanceMatrix(ms, c.GoodSites[as], coloc.DiscrepancyExclusion)
-				dist := func(x, y int) float64 { return dm[x][y] }
-				labels := optics.ClusterXi(len(ms), dist, 2, 0.1)
+				labels := optics.ClusterXi(len(ms), dm.At, 2, 0.1)
 				f1, _ := pairF1(ms, labels)
 				sum += f1
 				n++

@@ -1,0 +1,152 @@
+// benchcompare diffs two `make bench-json` records (test2json streams of a
+// -bench run) benchstat-style: one row per benchmark with old → new ns/op,
+// B/op, and allocs/op plus the ratio, so a perf PR can quote its before/after
+// from two dated BENCH_*.json files without external tooling.
+//
+// Usage: benchcompare OLD.json NEW.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's parsed numbers; zero means "not reported".
+type metrics struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+}
+
+// event is the subset of a test2json record we need.
+type event struct {
+	Action string
+	Test   string
+	Output string
+}
+
+// parseFile extracts benchmark results from a test2json stream, keyed by the
+// benchmark name (the event's Test field, which test2json sets for every
+// output line a benchmark emits).
+func parseFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // tolerate trailing garbage / non-JSON lines
+		}
+		if e.Action != "output" || !strings.Contains(e.Output, "ns/op") {
+			continue
+		}
+		name := e.Test
+		if name == "" {
+			// Older streams leave Test empty for package-level output; the
+			// bench name is then the line's first field.
+			if fields := strings.Fields(e.Output); len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+				name = fields[0]
+			}
+		}
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		m := out[name]
+		// A bench line is tab-separated "<iters>\t<value> <unit>\t..." —
+		// match on the unit suffix of each cell.
+		for _, cell := range strings.Split(e.Output, "\t") {
+			cell = strings.TrimSpace(cell)
+			for _, want := range []struct {
+				unit string
+				dst  *float64
+			}{{"ns/op", &m.nsOp}, {"B/op", &m.bytesOp}, {"allocs/op", &m.allocsOp}} {
+				if v, ok := strings.CutSuffix(cell, " "+want.unit); ok {
+					if x, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+						*want.dst = x
+					}
+				}
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// ratio renders new/old as a benchstat-style delta ("-62.9%", "+4.0%", "~").
+func ratio(old, new float64) string {
+	if old == 0 || new == 0 {
+		return "?"
+	}
+	d := (new - old) / old * 100
+	if d > -0.5 && d < 0.5 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
+func human(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldM, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	newM, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(oldM))
+	for n := range oldM {
+		if _, ok := newM[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("no common benchmarks")
+		return
+	}
+
+	fmt.Printf("%-55s %10s %10s %8s %10s %10s %8s %9s %9s %8s\n",
+		"benchmark ("+os.Args[1]+" → "+os.Args[2]+")",
+		"ns/op", "ns/op'", "Δ", "B/op", "B/op'", "Δ", "allocs", "allocs'", "Δ")
+	for _, n := range names {
+		o, nw := oldM[n], newM[n]
+		fmt.Printf("%-55s %10s %10s %8s %10s %10s %8s %9s %9s %8s\n",
+			strings.TrimPrefix(n, "Benchmark"),
+			human(o.nsOp), human(nw.nsOp), ratio(o.nsOp, nw.nsOp),
+			human(o.bytesOp), human(nw.bytesOp), ratio(o.bytesOp, nw.bytesOp),
+			human(o.allocsOp), human(nw.allocsOp), ratio(o.allocsOp, nw.allocsOp))
+	}
+}

@@ -316,6 +316,6 @@ func reachabilityOf(ctx context.Context, p *offnetrisk.Pipeline, workers int) ([
 	if err != nil {
 		return nil, err
 	}
-	res := optics.Run(len(ms), func(i, j int) float64 { return dm[i][j] }, 2, math.Inf(1))
+	res := optics.Run(len(ms), dm.At, 2, math.Inf(1))
 	return res.Reach, nil
 }

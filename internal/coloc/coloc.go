@@ -49,64 +49,6 @@ func (a *Analysis) MeanTrafficHHI(xi float64) float64 {
 // latency discrepancy between the two addresses" (Appendix A).
 const DiscrepancyExclusion = 0.20
 
-// PairDistance computes the normalized Manhattan distance between two
-// latency vectors over the given site indices, after dropping the `exclude`
-// fraction of sites with the largest per-site discrepancy.
-func PairDistance(a, b []float64, sites []int, exclude float64) float64 {
-	diffs := make([]float64, 0, len(sites))
-	for _, si := range sites {
-		x, y := a[si], b[si]
-		if math.IsNaN(x) || math.IsNaN(y) {
-			continue
-		}
-		diffs = append(diffs, math.Abs(x-y))
-	}
-	if len(diffs) == 0 {
-		return math.Inf(1)
-	}
-	sort.Float64s(diffs)
-	keep := len(diffs) - int(float64(len(diffs))*exclude)
-	if keep < 1 {
-		keep = 1
-	}
-	var sum float64
-	for _, d := range diffs[:keep] {
-		sum += d
-	}
-	return sum / float64(keep)
-}
-
-// DistanceMatrix builds the symmetric pairwise distance matrix for an ISP's
-// measurements.
-func DistanceMatrix(ms []*mlab.Measurement, sites []int, exclude float64) [][]float64 {
-	m, _ := DistanceMatrixContext(context.Background(), ms, sites, exclude, 1)
-	return m
-}
-
-// DistanceMatrixContext is DistanceMatrix fanned out one row per task:
-// task i computes m[i][j] and m[j][i] for all j > i, cell sets that are
-// provably disjoint across tasks, so any worker count fills the same
-// matrix. Distances are pure functions of the inputs — no RNG to thread.
-func DistanceMatrixContext(ctx context.Context, ms []*mlab.Measurement, sites []int, exclude float64, workers int) ([][]float64, error) {
-	n := len(ms)
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-	}
-	err := par.ForEach(ctx, n, par.Options{Workers: workers, Name: "distance-matrix"}, func(_ context.Context, i int) error {
-		for j := i + 1; j < n; j++ {
-			d := PairDistance(ms[i].RTTms, ms[j].RTTms, sites, exclude)
-			m[i][j], m[j][i] = d, d
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	mDistancesComputed.Add(int64(n * (n - 1) / 2))
-	return m, nil
-}
-
 // XiResult is the clustering outcome for one ISP at one ξ.
 type XiResult struct {
 	// Labels aligns with the ISP's measurement slice; -1 is noise (an
@@ -151,9 +93,22 @@ func Analyze(w *inet.World, c *mlab.Campaign, xis []float64) *Analysis {
 	return a
 }
 
+// ispScratch is the per-worker reusable state of the per-ISP clustering
+// task: the distance matrix storage and the OPTICS working arrays. With it,
+// the steady-state analysis loop performs no per-pair and no per-run
+// allocations — buffers grow to the largest ISP seen and stay.
+type ispScratch struct {
+	dm  DistMatrix
+	opt optics.Scratch
+}
+
 // AnalyzeContext is Analyze fanned out one ISP per task (ascending ASN):
-// each task builds its own distance matrix and OPTICS orderings, touching
+// each task builds its own distance matrix and OPTICS ordering, touching
 // nothing shared, so the per-ISP results are identical at any worker count.
+// The distance matrix and the OPTICS reachability ordering depend only on
+// the sites and the exclusion — not on ξ — so both are computed once per
+// ISP and the per-ξ work is just the steepness extraction over the shared
+// ordering.
 func AnalyzeContext(ctx context.Context, w *inet.World, c *mlab.Campaign, xis []float64, workers int) (*Analysis, error) {
 	a := &Analysis{Xis: xis, PerISP: make(map[inet.ASN]*ISPResult)}
 	mISPsAnalyzed.Add(int64(len(c.ByISP)))
@@ -163,24 +118,24 @@ func AnalyzeContext(ctx context.Context, w *inet.World, c *mlab.Campaign, xis []
 	}
 	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 
-	results, err := par.Map(ctx, len(asns), par.Options{Workers: workers, Name: "optics-cluster"},
-		func(_ context.Context, i int) (*ISPResult, error) {
+	results, err := par.MapLocal(ctx, len(asns), par.Options{Workers: workers, Name: "optics-cluster"},
+		func() *ispScratch { return &ispScratch{} },
+		func(_ context.Context, i int, sc *ispScratch) (*ISPResult, error) {
 			as := asns[i]
 			ms := c.ByISP[as]
 			sites := c.GoodSites[as]
-			dm, err := DistanceMatrixContext(ctx, ms, sites, DiscrepancyExclusion, 1)
-			if err != nil {
+			if err := DistanceMatrixInto(ctx, &sc.dm, ms, sites, DiscrepancyExclusion, 1); err != nil {
 				return nil, err
 			}
-			dist := func(i, j int) float64 { return dm[i][j] }
 
 			res := &ISPResult{ASN: as, PerXi: make(map[float64]*XiResult)}
 			if isp, ok := w.ISPs[as]; ok {
 				res.Users = isp.Users
 			}
 			res.HGs = hostedHGs(ms)
+			ord := sc.opt.Run(len(ms), sc.dm.At, 2, math.Inf(1))
 			for _, xi := range xis {
-				labels := optics.ClusterXi(len(ms), dist, 2, xi)
+				labels := ord.Labels(ord.ExtractXi(xi, 2))
 				res.PerXi[xi] = summarize(ms, labels)
 			}
 			return res, nil

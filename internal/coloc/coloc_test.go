@@ -55,16 +55,24 @@ func TestDistanceMatrixSymmetricZeroDiag(t *testing.T) {
 			continue
 		}
 		dm := DistanceMatrix(ms, c.GoodSites[as], DiscrepancyExclusion)
-		for i := range dm {
-			if dm[i][i] != 0 {
-				t.Fatalf("diagonal not zero: %v", dm[i][i])
+		if dm.N() != len(ms) {
+			t.Fatalf("N = %d, want %d", dm.N(), len(ms))
+		}
+		for i := 0; i < dm.N(); i++ {
+			if dm.At(i, i) != 0 {
+				t.Fatalf("diagonal not zero: %v", dm.At(i, i))
 			}
-			for j := range dm {
-				if dm[i][j] != dm[j][i] {
+			for j := 0; j < dm.N(); j++ {
+				if dm.At(i, j) != dm.At(j, i) {
 					t.Fatalf("matrix asymmetric at %d,%d", i, j)
 				}
-				if dm[i][j] < 0 {
+				if dm.At(i, j) < 0 {
 					t.Fatalf("negative distance at %d,%d", i, j)
+				}
+				if i != j {
+					if want := PairDistance(ms[i].RTTms, ms[j].RTTms, c.GoodSites[as], DiscrepancyExclusion); dm.At(i, j) != want {
+						t.Fatalf("cell %d,%d = %v, want PairDistance %v", i, j, dm.At(i, j), want)
+					}
 				}
 			}
 		}

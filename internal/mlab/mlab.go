@@ -196,13 +196,13 @@ func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site,
 		unresponsive bool
 		impossible   bool
 	}
-	outcomes, err := par.Map(ctx, len(d.Servers), opts, func(_ context.Context, i int) (outcome, error) {
+	outcomes, err := par.MapLocal(ctx, len(d.Servers), opts, newProbeScratch, func(_ context.Context, i int, sc *probeScratch) (outcome, error) {
 		s := d.Servers[i]
 		if !s.Responsive {
 			mUnresponsive.Inc()
 			return outcome{unresponsive: true}, nil
 		}
-		m := measureServer(w, s, sites, cfg, baseCache[s.Facility])
+		m := measureServer(w, s, sites, cfg, baseCache[s.Facility], sc)
 		if violatesSpeedOfLight(m.RTTms, sites) {
 			mImpossible.Inc()
 			return outcome{impossible: true}, nil
@@ -273,10 +273,23 @@ func facilityBase(f *inet.Facility, sites []Site) []float64 {
 	return out
 }
 
+// probeScratch is the per-worker probe buffer: the per-(site,target) RTT
+// samples are collected into a reused slice instead of growing a fresh one
+// for every site — the old code's dominant allocation (up to four append
+// growths per site × 163 sites × every server).
+type probeScratch struct {
+	got []float64
+}
+
+func newProbeScratch() *probeScratch { return &probeScratch{} }
+
 // measureServer produces the per-site second-smallest-of-N RTT vector.
 // base may be nil for anycast targets, which are located per-site.
-func measureServer(w *inet.World, s *hypergiant.Server, sites []Site, cfg Config, base []float64) *Measurement {
+func measureServer(w *inet.World, s *hypergiant.Server, sites []Site, cfg Config, base []float64, sc *probeScratch) *Measurement {
 	rtts := make([]float64, len(sites))
+	if cap(sc.got) < cfg.Probes {
+		sc.got = make([]float64, 0, cfg.Probes)
+	}
 
 	// Anycast targets answer from several distinct locations.
 	var anycastLocs []geo.Point
@@ -314,7 +327,7 @@ func measureServer(w *inet.World, s *hypergiant.Server, sites []Site, cfg Config
 			floor += base[si]
 		}
 
-		var got []float64
+		got := sc.got[:0]
 		for p := 0; p < cfg.Probes; p++ {
 			if r.Float64() < cfg.ProbeLoss {
 				continue

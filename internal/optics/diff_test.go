@@ -1,0 +1,228 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"offnetrisk/internal/rngutil"
+)
+
+// referenceRun is the original OPTICS implementation — full per-point sort
+// for core distances, linear-scan seed queue — kept verbatim (minus metrics)
+// as the differential oracle for the selection + heap implementation.
+func referenceRun(n int, dist DistFunc, minPts int, eps float64) *Result {
+	if n <= 0 {
+		return &Result{}
+	}
+	if minPts < 2 {
+		minPts = 2
+	}
+	if eps <= 0 {
+		eps = math.Inf(1)
+	}
+
+	core := make([]float64, n)
+	d := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		d = d[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d = append(d, dist(i, j))
+		}
+		sort.Float64s(d)
+		k := minPts - 2
+		if k < len(d) && d[k] <= eps {
+			core[i] = d[k]
+		} else {
+			core[i] = math.Inf(1)
+		}
+	}
+
+	processed := make([]bool, n)
+	reachOf := make([]float64, n)
+	for i := range reachOf {
+		reachOf[i] = math.Inf(1)
+	}
+	inSeeds := make([]bool, n)
+
+	res := &Result{Core: core}
+	process := func(p int, reach float64) {
+		processed[p] = true
+		res.Order = append(res.Order, p)
+		res.Reach = append(res.Reach, reach)
+	}
+	update := func(p int) {
+		if math.IsInf(core[p], 1) {
+			return
+		}
+		for o := 0; o < n; o++ {
+			if processed[o] || o == p {
+				continue
+			}
+			dpo := dist(p, o)
+			if dpo > eps {
+				continue
+			}
+			newReach := math.Max(core[p], dpo)
+			if newReach < reachOf[o] {
+				reachOf[o] = newReach
+				inSeeds[o] = true
+			}
+		}
+	}
+	popSeed := func() (int, bool) {
+		best, bestReach := -1, math.Inf(1)
+		for o := 0; o < n; o++ {
+			if inSeeds[o] && !processed[o] && reachOf[o] < bestReach {
+				best, bestReach = o, reachOf[o]
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		inSeeds[best] = false
+		return best, true
+	}
+
+	for p := 0; p < n; p++ {
+		if processed[p] {
+			continue
+		}
+		process(p, math.Inf(1))
+		update(p)
+		for {
+			q, ok := popSeed()
+			if !ok {
+				break
+			}
+			process(q, reachOf[q])
+			update(q)
+		}
+	}
+	return res
+}
+
+// randomMatrix draws a symmetric distance matrix: continuous, or tie-heavy
+// (distances quantized to a 3-value grid, forcing many equal reachabilities
+// so the heap's index tie-break is exercised), with occasional +Inf cells
+// (pairs whose latency vectors shared no usable site).
+func randomMatrix(seed int64) (n int, dist DistFunc, minPts int, eps float64) {
+	r := rngutil.New(seed)
+	n = r.Intn(47) + 2
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	tieHeavy := r.Intn(2) == 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var v float64
+			switch {
+			case r.Float64() < 0.03:
+				v = math.Inf(1)
+			case tieHeavy:
+				v = float64(r.Intn(3) + 1)
+			default:
+				v = r.Float64() * 100
+			}
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	minPts = r.Intn(3) + 2
+	eps = math.Inf(1)
+	if r.Intn(4) == 0 {
+		eps = r.Float64() * 60
+	}
+	return n, func(i, j int) float64 { return m[i][j] }, minPts, eps
+}
+
+// TestRunMatchesReference is the differential proof: the heap-seeded,
+// selection-based Run must reproduce the linear-scan reference exactly —
+// same processing order, bit-identical reachability and core distances — on
+// 1000 seeded random inputs including tie-heavy matrices, with one Scratch
+// reused across every case (the steady-state usage).
+func TestRunMatchesReference(t *testing.T) {
+	var sc Scratch
+	for seed := int64(0); seed < 1000; seed++ {
+		n, dist, minPts, eps := randomMatrix(seed)
+		want := referenceRun(n, dist, minPts, eps)
+		got := sc.Run(n, dist, minPts, eps)
+		if len(got.Order) != len(want.Order) {
+			t.Fatalf("seed %d: ordered %d points, want %d", seed, len(got.Order), len(want.Order))
+		}
+		for i := range want.Order {
+			if got.Order[i] != want.Order[i] {
+				t.Fatalf("seed %d: Order[%d] = %d, want %d (n=%d minPts=%d eps=%v)",
+					seed, i, got.Order[i], want.Order[i], n, minPts, eps)
+			}
+			if math.Float64bits(got.Reach[i]) != math.Float64bits(want.Reach[i]) {
+				t.Fatalf("seed %d: Reach[%d] = %v, want %v", seed, i, got.Reach[i], want.Reach[i])
+			}
+		}
+		for i := range want.Core {
+			if math.Float64bits(got.Core[i]) != math.Float64bits(want.Core[i]) {
+				t.Fatalf("seed %d: Core[%d] = %v, want %v", seed, i, got.Core[i], want.Core[i])
+			}
+		}
+	}
+}
+
+// TestLabelsMatchReference closes the loop at the label level: flat ξ-labels
+// from the new Run equal those from the reference ordering at both paper ξ
+// settings.
+func TestLabelsMatchReference(t *testing.T) {
+	var sc Scratch
+	for seed := int64(0); seed < 200; seed++ {
+		n, dist, _, _ := randomMatrix(seed)
+		want := referenceRun(n, dist, 2, math.Inf(1))
+		got := sc.Run(n, dist, 2, math.Inf(1))
+		for _, xi := range []float64{0.1, 0.9} {
+			wl := want.Labels(want.ExtractXi(xi, 2))
+			gl := got.Labels(got.ExtractXi(xi, 2))
+			for i := range wl {
+				if wl[i] != gl[i] {
+					t.Fatalf("seed %d ξ=%v: label[%d] = %d, want %d", seed, xi, i, gl[i], wl[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunScratchZeroAlloc guards the steady-state ordering: once the scratch
+// has grown to the problem size, a full OPTICS run allocates nothing.
+func TestRunScratchZeroAlloc(t *testing.T) {
+	n, dist, _, _ := randomMatrix(17)
+	var sc Scratch
+	sc.Run(n, dist, 2, math.Inf(1)) // warm the buffers
+	if a := testing.AllocsPerRun(50, func() {
+		sc.Run(n, dist, 2, math.Inf(1))
+	}); a != 0 {
+		t.Fatalf("steady-state Run allocates %v per run, want 0", a)
+	}
+}
+
+// BenchmarkOpticsRun measures the ordering kernel at the sizes the per-ISP
+// clustering sees (tiny worlds cluster tens of offnets per ISP; atlas-scale
+// inputs push into the hundreds).
+func BenchmarkOpticsRun(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rngutil.New(23)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.Float64() * 100
+			}
+			dist := func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) }
+			var sc Scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Run(n, dist, 2, math.Inf(1))
+			}
+		})
+	}
+}

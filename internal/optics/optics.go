@@ -42,9 +42,189 @@ type Result struct {
 // with the DBSCAN-convention minPts (a point is core when minPts points,
 // including itself, lie within eps) and generating distance eps (use +Inf
 // for unbounded, as the colocation analysis does).
+//
+// Run allocates a fresh Scratch per call; hot loops that run OPTICS many
+// times should hold a Scratch and call its Run method instead.
 func Run(n int, dist DistFunc, minPts int, eps float64) *Result {
+	return new(Scratch).Run(n, dist, minPts, eps)
+}
+
+// Scratch is the reusable working state of an OPTICS run: core/reachability
+// arrays, the seed min-heap, and the bounded neighbor-selection buffer. The
+// zero value is ready; buffers grow to the largest n seen and are reused.
+//
+// The *Result returned by (*Scratch).Run aliases the scratch buffers: it is
+// valid until the next Run call on the same Scratch. A Scratch must not be
+// shared across goroutines — give each worker its own (par.MapLocal).
+type Scratch struct {
+	core    []float64
+	reachOf []float64
+	order   []int
+	reach   []float64
+	// processed doubles as "popped from seeds": a point is popped and
+	// processed in the same step, so one flag covers both.
+	processed []bool
+	heap      []int // seed queue: point indices, min-heap on (reachOf, index)
+	pos       []int // pos[p] = index of p in heap, -1 when absent
+	nn        []float64
+	res       Result
+}
+
+// grow sizes every buffer for n points, reusing prior capacity.
+func (s *Scratch) grow(n int) {
+	if cap(s.core) < n {
+		s.core = make([]float64, n)
+		s.reachOf = make([]float64, n)
+		s.processed = make([]bool, n)
+		s.pos = make([]int, n)
+	}
+	s.core = s.core[:n]
+	s.reachOf = s.reachOf[:n]
+	s.processed = s.processed[:n]
+	s.pos = s.pos[:n]
+	for i := 0; i < n; i++ {
+		s.reachOf[i] = math.Inf(1)
+		s.processed[i] = false
+		s.pos[i] = -1
+	}
+	if cap(s.order) < n {
+		s.order = make([]int, 0, n)
+		s.reach = make([]float64, 0, n)
+	}
+	s.order = s.order[:0]
+	s.reach = s.reach[:0]
+	s.heap = s.heap[:0]
+}
+
+// seedLess replicates the linear scan's selection rule exactly: smallest
+// reachability wins, ties broken by the smaller point index (the old scan
+// visited indices in ascending order with a strict '<'). This tie-break is
+// what makes the heap-seeded ordering — and every downstream cluster label —
+// bit-identical to the scan-based implementation.
+func (s *Scratch) seedLess(a, b int) bool {
+	if s.reachOf[a] != s.reachOf[b] {
+		return s.reachOf[a] < s.reachOf[b]
+	}
+	return a < b
+}
+
+func (s *Scratch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.seedLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scratch) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s.heap) && s.seedLess(s.heap[l], s.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(s.heap) && s.seedLess(s.heap[r], s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.heapSwap(i, smallest)
+		i = smallest
+	}
+}
+
+func (s *Scratch) heapSwap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i]] = i
+	s.pos[s.heap[j]] = j
+}
+
+// seedDecrease inserts p, or restores heap order after reachOf[p] decreased
+// (a decrease can only move p toward the root).
+func (s *Scratch) seedDecrease(p int) {
+	if s.pos[p] < 0 {
+		s.pos[p] = len(s.heap)
+		s.heap = append(s.heap, p)
+	}
+	s.siftUp(s.pos[p])
+}
+
+// seedPop removes and returns the minimum seed, or (0, false) when empty.
+func (s *Scratch) seedPop() (int, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	p := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.pos[s.heap[0]] = 0
+	s.heap = s.heap[:last]
+	s.pos[p] = -1
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return p, true
+}
+
+// kthNearest returns the distance from i to its (k+1)-th nearest other point
+// (0-based k), via bounded insertion into a (k+1)-slot buffer — a partial
+// selection that touches each of the n-1 distances once instead of sorting
+// them all. The selected value is an order statistic, so it is the exact
+// float the full sort produced.
+func (s *Scratch) kthNearest(n int, dist DistFunc, i, k int) float64 {
+	if k == 0 {
+		// minPts = 2, the colocation analysis' fixed n_min: a plain min scan.
+		best := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if d := dist(i, j); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	if cap(s.nn) < k+1 {
+		s.nn = make([]float64, 0, k+1)
+	}
+	nn := s.nn[:0]
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		d := dist(i, j)
+		if len(nn) == k+1 {
+			if d >= nn[k] {
+				continue
+			}
+			nn = nn[:k]
+		}
+		at := len(nn)
+		for at > 0 && nn[at-1] > d {
+			at--
+		}
+		nn = append(nn, 0)
+		copy(nn[at+1:], nn[at:])
+		nn[at] = d
+	}
+	s.nn = nn[:0]
+	if len(nn) <= k {
+		return math.Inf(1)
+	}
+	return nn[k]
+}
+
+// Run is the scratch-reusing form of the package-level Run; see Scratch for
+// the aliasing rules.
+func (s *Scratch) Run(n int, dist DistFunc, minPts int, eps float64) *Result {
 	if n <= 0 {
-		return &Result{}
+		s.res = Result{}
+		return &s.res
 	}
 	mRunsTotal.Inc()
 	mPointsClustered.Add(int64(n))
@@ -54,45 +234,30 @@ func Run(n int, dist DistFunc, minPts int, eps float64) *Result {
 	if eps <= 0 {
 		eps = math.Inf(1)
 	}
+	s.grow(n)
 
-	core := make([]float64, n)
-	d := make([]float64, 0, n)
+	core := s.core
+	k := minPts - 2 // (minPts-1)-th nearest distinct point, 0-based
 	for i := 0; i < n; i++ {
-		d = d[:0]
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			d = append(d, dist(i, j))
-		}
-		sort.Float64s(d)
-		k := minPts - 2 // (minPts-1)-th nearest distinct point, 0-based
-		if k < len(d) && d[k] <= eps {
-			core[i] = d[k]
+		if d := s.kthNearest(n, dist, i, k); k < n-1 && d <= eps {
+			core[i] = d
 		} else {
 			core[i] = math.Inf(1)
 		}
 	}
 
-	processed := make([]bool, n)
-	reachOf := make([]float64, n)
-	for i := range reachOf {
-		reachOf[i] = math.Inf(1)
-	}
-	inSeeds := make([]bool, n)
-
-	res := &Result{Core: core}
+	reachOf := s.reachOf
 	process := func(p int, reach float64) {
-		processed[p] = true
-		res.Order = append(res.Order, p)
-		res.Reach = append(res.Reach, reach)
+		s.processed[p] = true
+		s.order = append(s.order, p)
+		s.reach = append(s.reach, reach)
 	}
 	update := func(p int) {
 		if math.IsInf(core[p], 1) {
 			return
 		}
 		for o := 0; o < n; o++ {
-			if processed[o] || o == p {
+			if s.processed[o] || o == p {
 				continue
 			}
 			dpo := dist(p, o)
@@ -102,32 +267,19 @@ func Run(n int, dist DistFunc, minPts int, eps float64) *Result {
 			newReach := math.Max(core[p], dpo)
 			if newReach < reachOf[o] {
 				reachOf[o] = newReach
-				inSeeds[o] = true
+				s.seedDecrease(o)
 			}
 		}
-	}
-	popSeed := func() (int, bool) {
-		best, bestReach := -1, math.Inf(1)
-		for o := 0; o < n; o++ {
-			if inSeeds[o] && !processed[o] && reachOf[o] < bestReach {
-				best, bestReach = o, reachOf[o]
-			}
-		}
-		if best < 0 {
-			return 0, false
-		}
-		inSeeds[best] = false
-		return best, true
 	}
 
 	for p := 0; p < n; p++ {
-		if processed[p] {
+		if s.processed[p] {
 			continue
 		}
 		process(p, math.Inf(1))
 		update(p)
 		for {
-			q, ok := popSeed()
+			q, ok := s.seedPop()
 			if !ok {
 				break
 			}
@@ -135,7 +287,8 @@ func Run(n int, dist DistFunc, minPts int, eps float64) *Result {
 			update(q)
 		}
 	}
-	return res
+	s.res = Result{Order: s.order, Reach: s.reach, Core: core}
+	return &s.res
 }
 
 // Cluster is a contiguous span [Start, End] (inclusive) of the ordering.

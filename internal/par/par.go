@@ -70,6 +70,20 @@ func (e *panicError) Error() string {
 // attach children of its own. Span attribution is observability-only — it
 // never alters results.
 func Map[R any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	return MapLocal(ctx, n, opts, func() struct{} { return struct{}{} },
+		func(ctx context.Context, i int, _ struct{}) (R, error) { return fn(ctx, i) })
+}
+
+// MapLocal is Map with per-worker scratch state: newState runs once per
+// worker goroutine and its value is handed to every task that worker claims.
+// It exists so hot kernels can reuse buffers across tasks without a sync.Pool
+// or per-task allocation.
+//
+// The determinism rules extend to state: it may hold only scratch whose
+// contents are fully overwritten by each task before use — a task's result
+// must never depend on which tasks previously ran on the same worker, and
+// must not retain references into the state after returning.
+func MapLocal[S, R any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) (R, error)) ([]R, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -101,6 +115,7 @@ func Map[R any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 			ws.SetAttr("worker", w)
 			wctx = obs.ContextWithSpan(cctx, ws)
 		}
+		state := newState()
 		tasks := 0
 		for {
 			i := int(next.Add(1) - 1)
@@ -108,7 +123,7 @@ func Map[R any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 				break
 			}
 			tasks++
-			if err := runTask(wctx, i, fn, results); err != nil {
+			if err := runTask(wctx, i, state, fn, results); err != nil {
 				errs[i] = err
 				failed.Store(true)
 				cancel() // stop claiming; finished slots stay valid
@@ -153,13 +168,13 @@ func Map[R any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 }
 
 // runTask executes one task with panic capture, writing its result slot.
-func runTask[R any](ctx context.Context, i int, fn func(ctx context.Context, i int) (R, error), results []R) (err error) {
+func runTask[S, R any](ctx context.Context, i int, state S, fn func(ctx context.Context, i int, state S) (R, error), results []R) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &panicError{index: i, value: r, stack: debug.Stack()}
 		}
 	}()
-	r, err := fn(ctx, i)
+	r, err := fn(ctx, i, state)
 	if err != nil {
 		return err
 	}
@@ -172,6 +187,14 @@ func runTask[R any](ctx context.Context, i int, fn func(ctx context.Context, i i
 func ForEach(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) error {
 	_, err := Map(ctx, n, opts, func(ctx context.Context, i int) (struct{}, error) {
 		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// ForEachLocal is ForEach with per-worker scratch state (see MapLocal).
+func ForEachLocal[S any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) error) error {
+	_, err := MapLocal(ctx, n, opts, newState, func(ctx context.Context, i int, state S) (struct{}, error) {
+		return struct{}{}, fn(ctx, i, state)
 	})
 	return err
 }

@@ -244,3 +244,55 @@ func TestWorkers(t *testing.T) {
 		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
 	}
 }
+
+// TestMapLocalStatePerWorker: every worker gets its own state (never shared
+// across goroutines), each state is created exactly once per worker, and the
+// merged results are still in input order.
+func TestMapLocalStatePerWorker(t *testing.T) {
+	const n = 200
+	type scratch struct {
+		buf   []int
+		tasks int
+	}
+	var created atomic.Int64
+	results, err := MapLocal(context.Background(), n, Options{Workers: 5},
+		func() *scratch { created.Add(1); return &scratch{buf: make([]int, 0, 8)} },
+		func(_ context.Context, i int, sc *scratch) (int, error) {
+			// Scratch usage pattern: fully overwrite before use.
+			sc.buf = append(sc.buf[:0], i, i)
+			sc.tasks++
+			return sc.buf[0] + sc.buf[1], nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != 2*i {
+			t.Fatalf("results[%d] = %d, want %d", i, r, 2*i)
+		}
+	}
+	if c := created.Load(); c < 1 || c > 5 {
+		t.Fatalf("newState ran %d times, want 1..5 (once per worker)", c)
+	}
+}
+
+// TestForEachLocal: the side-effect variant threads state the same way.
+func TestForEachLocal(t *testing.T) {
+	const n = 64
+	seen := make([]atomic.Int64, n)
+	err := ForEachLocal(context.Background(), n, Options{Workers: 3},
+		func() []int { return make([]int, 1) },
+		func(_ context.Context, i int, sc []int) error {
+			sc[0] = i
+			seen[sc[0]].Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
