@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-smoke bench-compare check report
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare check report runs-diff golden
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,10 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the concurrency-heavy layers (quick pre-commit).
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/par/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -38,8 +42,23 @@ bench-compare:
 	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json records" >&2; exit 1; fi; \
 	$(GO) run ./cmd/benchcompare $$2 $$1
 
-check: build vet race
+# race-obs runs first so concurrency regressions in the observability and
+# parallel substrates fail fast, before the full race suite.
+check: build vet race-obs race
 
 # Full reproduction report with provenance manifest.
 report:
 	$(GO) run ./cmd/reproduce -out out -manifest out/manifest.json
+
+# Determinism gate: reproduce at the golden seed/scale and diff the manifest
+# against the checked-in reference. Fails (exit 1) on any counter, histogram
+# bucket, funnel, or stage-sequence drift; wall times and gauges are
+# informational.
+runs-diff:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/runsdiff-out -manifest /tmp/runsdiff-out/manifest.json
+	$(GO) run ./cmd/runsdiff out/golden_manifest.json /tmp/runsdiff-out/manifest.json
+
+# Regenerate the golden manifest (after intentional metric/funnel changes;
+# commit the result and say why in the commit message).
+golden:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/golden-out -manifest out/golden_manifest.json

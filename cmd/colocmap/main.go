@@ -28,10 +28,12 @@ func main() {
 	p := common.Pipeline()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
-	if err := common.StartDebug(ctx, tr, logger); err != nil {
-		logger.Error("debug endpoint failed to start", "err", err)
+	stopObs, err := common.Observability(ctx, tr, logger)
+	if err != nil {
+		logger.Error("observability setup failed", "err", err)
 		os.Exit(1)
 	}
+	defer stopObs()
 
 	logger.Debug("running colocation pipeline", "seed", common.Seed, "scale", common.Scale().String())
 	res, err := p.ColocationContext(ctx)

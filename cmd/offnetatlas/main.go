@@ -36,9 +36,11 @@ func main() {
 	p := common.Pipeline()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
-	if err := common.StartDebug(ctx, tr, logger); err != nil {
-		fatal("debug endpoint failed to start", err)
+	stopObs, err := common.Observability(ctx, tr, logger)
+	if err != nil {
+		fatal("observability setup failed", err)
 	}
+	defer stopObs()
 	w, d, err := p.World2023()
 	if err != nil {
 		fatal("world build failed", err)

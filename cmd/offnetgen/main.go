@@ -59,9 +59,11 @@ func main() {
 	}
 	ctx, stop := common.Context()
 	defer stop()
-	if err := common.StartDebug(ctx, obs.NewTracer(), logger); err != nil {
-		fatal("debug endpoint failed to start", err)
+	stopObs, err := common.Observability(ctx, obs.NewTracer(), logger)
+	if err != nil {
+		fatal("observability setup failed", err)
 	}
+	defer stopObs()
 
 	w := inet.Generate(common.WorldConfig())
 	logger.Debug("world generated", "isps", len(w.ISPs), "facilities", len(w.Facilities))

@@ -33,9 +33,11 @@ func main() {
 	p := common.Pipeline()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
-	if err := common.StartDebug(ctx, tr, logger); err != nil {
-		fatal("debug endpoint failed to start", err)
+	stopObs, err := common.Observability(ctx, tr, logger)
+	if err != nil {
+		fatal("observability setup failed", err)
 	}
+	defer stopObs()
 
 	if *from != "" {
 		// External-dump mode: parse the NDJSON scan and run the 2023

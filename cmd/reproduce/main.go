@@ -58,10 +58,12 @@ func main() {
 	p := common.Pipeline()
 	p.Instrument(tr)
 
-	if err := common.StartDebug(ctx, tr, logger); err != nil {
-		logger.Error("debug endpoint failed to start", "addr", common.DebugAddr, "err", err)
+	stopObs, err := common.Observability(ctx, tr, logger)
+	if err != nil {
+		logger.Error("observability setup failed", "addr", common.DebugAddr, "err", err)
 		os.Exit(1)
 	}
+	defer stopObs()
 
 	var md strings.Builder
 	fmt.Fprintf(&md, "# offnetrisk reproduction report\n\nseed %d, scale %v\n\n", common.Seed, scale)
@@ -249,6 +251,17 @@ func main() {
 		}
 		passed, total = suite.Passed(), len(suite.Checks)
 		fmt.Fprintf(&md, "## Conformance against the paper\n\n%s\n", suite.Markdown())
+		return nil
+	})
+
+	// Last content stage, so the table covers every pipeline the run executed
+	// and matches the manifest's funnel snapshot.
+	run("data-funnel", func() error {
+		snaps := obs.Default.FunnelSnapshots()
+		if len(snaps) == 0 {
+			return nil
+		}
+		fmt.Fprintf(&md, "\n## Data funnel (Appendix A accounting)\n\nPer filtering stage: items in, items kept, and the drop breakdown. Every\nrow satisfies in == kept + dropped; these are the denominators behind the\ntables above.\n\n%s", obs.FunnelTable(snaps))
 		return nil
 	})
 

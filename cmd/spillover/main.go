@@ -34,9 +34,11 @@ func main() {
 	p := common.Pipeline()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
-	if err := common.StartDebug(ctx, tr, logger); err != nil {
-		fatal("debug endpoint failed to start", err)
+	stopObs, err := common.Observability(ctx, tr, logger)
+	if err != nil {
+		fatal("observability setup failed", err)
 	}
+	defer stopObs()
 
 	logger.Debug("running peering survey", "seed", common.Seed, "scale", common.Scale().String())
 	ps, err := p.PeeringSurveyContext(ctx)

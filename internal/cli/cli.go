@@ -1,8 +1,8 @@
 // Package cli holds the flag surface shared by every command in cmd/: one
-// registration point so -seed, -tiny, -large, -v, -workers and -debug-addr
-// are spelled, defaulted and documented identically everywhere, plus the
-// common startup plumbing (logger, SIGINT-cancelled context, debug
-// endpoints wired to that context).
+// registration point so -seed, -tiny, -large, -v, -workers, -debug-addr and
+// -events are spelled, defaulted and documented identically everywhere,
+// plus the common startup plumbing (logger, SIGINT-cancelled context, debug
+// endpoints and event streams wired to that context).
 package cli
 
 import (
@@ -11,6 +11,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"offnetrisk"
@@ -26,6 +27,7 @@ type Common struct {
 	Verbose   bool
 	Workers   int
 	DebugAddr string
+	Events    string
 }
 
 // Register installs the shared flags on fs. Call before the command's own
@@ -37,7 +39,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Large, "large", false, "use the large (paper-sized) world")
 	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) logging")
 	fs.IntVar(&c.Workers, "workers", 0, "parallel workers for experiment stages (0 = GOMAXPROCS)")
-	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.Events, "events", "", "stream span start/end and funnel snapshots as JSONL to this file")
 	return c
 }
 
@@ -99,4 +102,37 @@ func (c *Common) StartDebug(ctx context.Context, tr *obs.Tracer, logger *slog.Lo
 	context.AfterFunc(ctx, stop)
 	logger.Info("debug endpoint listening", "url", "http://"+addr+"/debug/obs")
 	return nil
+}
+
+// Observability wires the optional observability surfaces in one call: the
+// -debug-addr endpoint (pprof, expvar, Prometheus /metrics, live /debug/obs
+// page) and the -events JSONL stream attached to the tracer. The returned
+// close emits the final funnel snapshots and flushes the stream; it is
+// idempotent, also runs on ctx cancellation (so ^C still leaves a complete
+// stream behind), and must be deferred by the command.
+func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog.Logger) (func(), error) {
+	if err := c.StartDebug(ctx, tr, logger); err != nil {
+		return nil, err
+	}
+	if c.Events == "" {
+		return func() {}, nil
+	}
+	sink, err := obs.OpenEventSink(c.Events)
+	if err != nil {
+		return nil, err
+	}
+	tr.SetSink(sink)
+	logger.Info("event stream open", "path", c.Events)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			tr.SetSink(nil)
+			sink.EmitFunnels(obs.Default)
+			if err := sink.Close(); err != nil {
+				logger.Warn("event stream close failed", "path", c.Events, "err", err)
+			}
+		})
+	}
+	context.AfterFunc(ctx, stop)
+	return stop, nil
 }

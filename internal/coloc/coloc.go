@@ -26,6 +26,18 @@ var (
 		"pairwise latency-vector distances computed")
 )
 
+// fPairs accounts per-site samples flowing through the pair-distance kernel:
+// in = sites considered per pair, dropped = NaN-sided samples plus the 20%
+// largest-discrepancy exclusion (Appendix A), out = samples actually summed.
+// The hot path batches these in PairScratch and flushes per pair-block, so
+// the kernel stays allocation-free; atomic integer adds commute, so the
+// snapshot is identical at any worker count.
+var (
+	fPairs           = obs.NewFunnel("coloc.pairs", "per-site latency samples entering the pair-distance kernel vs. summed")
+	fPairsNaN        = fPairs.Reason("nan_rtt")
+	fPairsDiscrepant = fPairs.Reason("discrepant_20pct")
+)
+
 // MeanTrafficHHI returns the user-weighted mean facility-traffic
 // concentration index at the given ξ.
 func (a *Analysis) MeanTrafficHHI(xi float64) float64 {

@@ -24,14 +24,36 @@ import (
 // fill reuses a per-worker PairScratch instead.
 func PairDistance(a, b []float64, sites []int, exclude float64) float64 {
 	var s PairScratch
-	return s.PairDistance(a, b, sites, exclude)
+	d := s.PairDistance(a, b, sites, exclude)
+	s.FlushFunnel()
+	return d
 }
 
 // PairScratch holds the reusable per-worker buffer for PairDistance. The
 // zero value is ready; the buffer grows to the largest site set seen. Not
 // safe for concurrent use — one per worker (par.ForEachLocal).
+//
+// Funnel accounting (coloc.pairs) is batched into the plain int64 fields and
+// published with FlushFunnel, keeping the per-pair path free of atomics and
+// allocations.
 type PairScratch struct {
 	diffs []float64
+
+	fIn, fNaN, fExcl, fOut int64
+}
+
+// FlushFunnel publishes the batched coloc.pairs accounting and zeroes the
+// batch. Callers flush once per block (or per call for the convenience
+// form), not per pair.
+func (s *PairScratch) FlushFunnel() {
+	if s.fIn == 0 {
+		return
+	}
+	fPairs.In(s.fIn)
+	fPairs.Out(s.fOut)
+	fPairsNaN.Add(s.fNaN)
+	fPairsDiscrepant.Add(s.fExcl)
+	s.fIn, s.fNaN, s.fExcl, s.fOut = 0, 0, 0, 0
 }
 
 // PairDistance is the scratch-reusing pair distance. The exclusion is
@@ -52,6 +74,8 @@ func (s *PairScratch) PairDistance(a, b []float64, sites []int, exclude float64)
 		diffs = append(diffs, math.Abs(x-y))
 	}
 	s.diffs = diffs
+	s.fIn += int64(len(sites))
+	s.fNaN += int64(len(sites) - len(diffs))
 	if len(diffs) == 0 {
 		return math.Inf(1)
 	}
@@ -59,6 +83,8 @@ func (s *PairScratch) PairDistance(a, b []float64, sites []int, exclude float64)
 	if keep < 1 {
 		keep = 1
 	}
+	s.fExcl += int64(len(diffs) - keep)
+	s.fOut += int64(keep)
 	if keep < len(diffs) {
 		selectSmallest(diffs, keep)
 		diffs = diffs[:keep]
@@ -227,6 +253,7 @@ func DistanceMatrixInto(ctx context.Context, m *DistMatrix, ms []*mlab.Measureme
 					j = i + 1
 				}
 			}
+			sc.FlushFunnel()
 			return nil
 		})
 	if err != nil {

@@ -1,13 +1,17 @@
 package coloc
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"testing"
 
 	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
 )
 
@@ -193,7 +197,9 @@ func TestDistanceMatrixCancelledCountsNothing(t *testing.T) {
 	ms, sites := syntheticMeasurements(9, 30, 40)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	before := mDistancesComputed.Value()
+	// Reset the shared registry so the assertion is absolute, not a delta
+	// that depends on which tests ran first.
+	obs.Default.Reset()
 	if _, err := DistanceMatrixContext(ctx, ms, sites, DiscrepancyExclusion, 2); err == nil {
 		t.Fatal("cancelled fill returned no error")
 	}
@@ -201,8 +207,52 @@ func TestDistanceMatrixCancelledCountsNothing(t *testing.T) {
 	if err := DistanceMatrixInto(ctx, &m, ms, sites, DiscrepancyExclusion, 2); err == nil {
 		t.Fatal("cancelled Into fill returned no error")
 	}
-	if after := mDistancesComputed.Value(); after != before {
-		t.Fatalf("cancelled fill advanced distances_computed by %d", after-before)
+	if n := mDistancesComputed.Value(); n != 0 {
+		t.Fatalf("cancelled fill advanced distances_computed to %d", n)
+	}
+}
+
+// TestDistanceMatrixFunnelDeterministicAcrossWorkers sweeps worker counts
+// and asserts the coloc.pairs funnel accounting is byte-identical: the
+// counts are integer sums over a fixed pair set, so block scheduling must
+// not change them.
+func TestDistanceMatrixFunnelDeterministicAcrossWorkers(t *testing.T) {
+	ms, sites := syntheticMeasurements(31, 163, 7)
+	var ref []byte
+	refWorkers := 0
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		obs.Default.Reset()
+		if _, err := DistanceMatrixContext(context.Background(), ms, sites, DiscrepancyExclusion, workers); err != nil {
+			t.Fatal(err)
+		}
+		state, err := json.Marshal(obs.Default.FunnelSnapshots())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refWorkers = state, workers
+			continue
+		}
+		if !bytes.Equal(ref, state) {
+			t.Fatalf("coloc.pairs accounting differs between workers=%d and workers=%d:\n%s\nvs\n%s",
+				refWorkers, workers, ref, state)
+		}
+	}
+	// And it balances: every considered site sample is kept or attributed.
+	obs.Default.Reset()
+	if _, err := DistanceMatrixContext(context.Background(), ms, sites, DiscrepancyExclusion, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range obs.Default.FunnelSnapshots() {
+		if s.Name == "coloc.pairs" {
+			if !s.Balanced() {
+				t.Fatalf("coloc.pairs unbalanced: %+v", s)
+			}
+			wantIn := int64(len(ms)*(len(ms)-1)/2) * int64(len(sites))
+			if s.In != wantIn {
+				t.Fatalf("coloc.pairs in = %d, want %d (pairs × sites)", s.In, wantIn)
+			}
+		}
 	}
 }
 

@@ -42,6 +42,21 @@ var (
 		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500})
 )
 
+// Funnels mirror the Appendix A accounting as explicit in/out/drop stages.
+// They are fed from the serial merge and gate loops, so snapshots are
+// byte-identical at any worker count and reconcile exactly with the counters
+// above (ping.filter drops == targets_unresponsive + targets_impossible;
+// ping.isp_gate drops == isps_gated).
+var (
+	fFilter = obs.NewFunnel("ping.filter",
+		"offnet targets entering the campaign vs. kept after the responsiveness and speed-of-light filters")
+	fFilterUnresponsive = fFilter.Reason("unresponsive")
+	fFilterSOL          = fFilter.Reason("sol_violation")
+	fISPGate            = obs.NewFunnel("ping.isp_gate",
+		"measured ISPs entering the minimum-usable-sites gate vs. kept")
+	fGateLT100 = fISPGate.Reason("lt_100_vps")
+)
+
 // Site is one measurement vantage point.
 type Site struct {
 	ID   int
@@ -220,21 +235,27 @@ func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site,
 	}
 
 	// Serial merge in deployment order — identical to the old single-loop
-	// accounting.
+	// accounting. The filter funnel is fed here, not in the parallel tasks,
+	// so its snapshot is deterministic at any worker count.
+	fFilter.In(int64(len(outcomes)))
 	perISP := make(map[inet.ASN][]*Measurement)
 	for i, o := range outcomes {
 		switch {
 		case o.unresponsive:
 			c.Unresponsive++
+			fFilterUnresponsive.Inc()
 		case o.impossible:
 			c.Impossible++
+			fFilterSOL.Inc()
 		default:
 			perISP[d.Servers[i].ISP] = append(perISP[d.Servers[i].ISP], o.m)
 			c.TotalMeasured++
+			fFilter.Out(1)
 		}
 	}
 
 	// Per-ISP gate: count sites with successful measurements to all offnets.
+	fISPGate.In(int64(len(perISP)))
 	for as, ms := range perISP {
 		var good []int
 		for si := range sites {
@@ -252,11 +273,13 @@ func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site,
 		if len(good) < cfg.MinSites {
 			c.GatedISPs++
 			mISPsGated.Inc()
+			fGateLT100.Inc()
 			continue
 		}
 		c.ByISP[as] = ms
 		c.GoodSites[as] = good
 		c.MeasuredISPs++
+		fISPGate.Out(1)
 	}
 	return c, nil
 }

@@ -17,7 +17,8 @@ import (
 //
 //	/debug/pprof/   — the full net/http/pprof suite
 //	/debug/vars     — expvar, including the offnetrisk metrics registry
-//	/debug/obs      — a live HTML span/progress + metrics page
+//	/debug/obs      — a live HTML span/progress + metrics + funnels page
+//	/metrics        — Prometheus text exposition (format 0.0.4)
 //
 // The tracer may be nil (the page then shows metrics only). The returned
 // close function shuts the server down and releases the listener; callers
@@ -33,6 +34,7 @@ func ServeDebug(addr string, tr *Tracer) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", PromHandler(Default))
 	start := time.Now()
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
 		writeObsPage(w, tr, start)
@@ -72,7 +74,7 @@ td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
 	if len(spans) == 0 {
 		fmt.Fprint(w, "<p>no spans recorded (tracer disabled or run not started)</p>")
 	} else {
-		fmt.Fprint(w, "<table><tr><th>stage</th><th>state</th><th>ms</th><th>alloc</th></tr>")
+		fmt.Fprint(w, "<table><tr><th>stage</th><th>state</th><th>ms</th><th>alloc</th><th>attrs</th></tr>")
 		for _, s := range spans {
 			writeSpanRows(w, s, 0)
 		}
@@ -95,7 +97,28 @@ td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
 		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>",
 			html.EscapeString(n), m.Type, val)
 	}
-	fmt.Fprint(w, "</table><p><a href='/debug/pprof/'>pprof</a> · <a href='/debug/vars'>expvar</a></p>")
+	fmt.Fprint(w, "</table>")
+
+	if funnels := Default.FunnelSnapshots(); len(funnels) > 0 {
+		fmt.Fprint(w, "<h2>funnels</h2><table><tr><th>stage</th><th>in</th><th>kept</th><th>dropped</th><th>drop breakdown</th></tr>")
+		for _, f := range funnels {
+			breakdown := "—"
+			if len(f.Drops) > 0 {
+				breakdown = ""
+				for i, d := range f.Drops {
+					if i > 0 {
+						breakdown += ", "
+					}
+					breakdown += fmt.Sprintf("%s=%d", html.EscapeString(d.Reason), d.N)
+				}
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>",
+				html.EscapeString(f.Name), f.In, f.Out, f.Dropped(), breakdown)
+		}
+		fmt.Fprint(w, "</table>")
+	}
+
+	fmt.Fprint(w, "<p><a href='/debug/pprof/'>pprof</a> · <a href='/debug/vars'>expvar</a> · <a href='/metrics'>prometheus</a></p>")
 }
 
 func writeSpanRows(w http.ResponseWriter, s SpanSnapshot, depth int) {
@@ -107,8 +130,24 @@ func writeSpanRows(w http.ResponseWriter, s SpanSnapshot, depth int) {
 	if s.Ended {
 		state, class = "done", "done"
 	}
-	fmt.Fprintf(w, "<tr><td>%s%s</td><td class=%q>%s</td><td>%.1f</td><td>%dB</td></tr>",
-		indent, html.EscapeString(s.Name), class, state, s.DurMS, s.AllocBytes)
+	// Attribute values are caller-supplied and may contain markup; escape
+	// both keys and rendered values before they reach the page.
+	attrs := ""
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				attrs += " "
+			}
+			attrs += html.EscapeString(k) + "=" + html.EscapeString(fmt.Sprint(s.Attrs[k]))
+		}
+	}
+	fmt.Fprintf(w, "<tr><td>%s%s</td><td class=%q>%s</td><td>%.1f</td><td>%dB</td><td>%s</td></tr>",
+		indent, html.EscapeString(s.Name), class, state, s.DurMS, s.AllocBytes, attrs)
 	for _, c := range s.Children {
 		writeSpanRows(w, c, depth+1)
 	}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Manifest comparison: the engine behind cmd/runsdiff and the CI golden-run
+// gate. Two manifests from the same (tool, seed, scale) must agree on every
+// deterministic quantity — counters, histogram counts and buckets, funnel
+// accounting, root stage names — and may differ on run-varying ones (wall
+// times, allocations, Go version, gauges written last-write-wins from
+// parallel code, histogram sums whose float accumulation order depends on
+// scheduling). The comparison classifies every difference accordingly.
+
+// DiffOptions tunes the comparison.
+type DiffOptions struct {
+	// SumTol is the relative tolerance for histogram sums. The sums are
+	// CAS-accumulated floats, so the addition order — and therefore the
+	// rounding — depends on goroutine scheduling; equal runs agree to ~1e-12
+	// relative. Zero means the 1e-9 default.
+	SumTol float64
+	// MaxWallRegress flags a stage whose wall time grew by more than this
+	// factor (new > old*factor) as a regression warning. Zero means the
+	// default 2.0. Stages faster than minWallMS are never flagged.
+	MaxWallRegress float64
+}
+
+func (o DiffOptions) sanitized() DiffOptions {
+	if o.SumTol <= 0 {
+		o.SumTol = 1e-9
+	}
+	if o.MaxWallRegress <= 1 {
+		o.MaxWallRegress = 2.0
+	}
+	return o
+}
+
+// minWallMS is the floor below which stage wall times are considered noise.
+const minWallMS = 50
+
+// DiffResult is the classified outcome of comparing two manifests.
+type DiffResult struct {
+	// Drift lists determinism-relevant differences: same-seed runs must
+	// produce none, and CI fails when any appear.
+	Drift []string
+	// Warnings lists quality signals that do not break determinism:
+	// per-stage wall-time regressions, unbalanced funnels.
+	Warnings []string
+	// Infos lists expected run-to-run variation: environment, wall clock,
+	// gauges, in-tolerance sum differences.
+	Infos []string
+}
+
+// HasDrift reports whether any determinism-relevant difference was found.
+func (r *DiffResult) HasDrift() bool { return len(r.Drift) > 0 }
+
+func (r *DiffResult) driftf(format string, args ...any) {
+	r.Drift = append(r.Drift, fmt.Sprintf(format, args...))
+}
+
+func (r *DiffResult) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+func (r *DiffResult) infof(format string, args ...any) {
+	r.Infos = append(r.Infos, fmt.Sprintf(format, args...))
+}
+
+// CompareManifests diffs two manifests, a as the reference (golden) run and
+// b as the candidate.
+func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
+	opts = opts.sanitized()
+	r := &DiffResult{}
+
+	if a.Tool != b.Tool {
+		r.driftf("tool: %q vs %q", a.Tool, b.Tool)
+	}
+	if a.Seed != b.Seed {
+		r.driftf("seed: %d vs %d", a.Seed, b.Seed)
+	}
+	if a.Scale != b.Scale {
+		r.driftf("scale: %q vs %q", a.Scale, b.Scale)
+	}
+	if a.GoVersion != b.GoVersion {
+		r.infof("go version: %s vs %s", a.GoVersion, b.GoVersion)
+	}
+	if a.GOOS != b.GOOS || a.GOARCH != b.GOARCH {
+		r.infof("platform: %s/%s vs %s/%s", a.GOOS, a.GOARCH, b.GOOS, b.GOARCH)
+	}
+	if a.WallMS > 0 && b.WallMS > 0 {
+		r.infof("total wall: %.0fms vs %.0fms", a.WallMS, b.WallMS)
+	}
+
+	compareMetrics(a.Metrics, b.Metrics, opts, r)
+	compareFunnels(a.Funnels, b.Funnels, r)
+	compareStages(a.Stages, b.Stages, opts, r)
+	return r
+}
+
+func compareMetrics(a, b map[string]MetricValue, opts DiffOptions, r *DiffResult) {
+	for _, name := range sortedKeys(a) {
+		av := a[name]
+		bv, ok := b[name]
+		if !ok {
+			r.driftf("metric %s: missing from candidate", name)
+			continue
+		}
+		if av.Type != bv.Type {
+			r.driftf("metric %s: type %s vs %s", name, av.Type, bv.Type)
+			continue
+		}
+		switch av.Type {
+		case "counter":
+			if av.Value != bv.Value {
+				r.driftf("metric %s: %.0f vs %.0f (Δ%+.0f)", name, av.Value, bv.Value, bv.Value-av.Value)
+			}
+		case "gauge":
+			// Gauges are last-write-wins from parallel code; differences are
+			// informational, never drift.
+			if av.Value != bv.Value {
+				r.infof("gauge %s: %.6g vs %.6g", name, av.Value, bv.Value)
+			}
+		case "histogram":
+			if av.Count != bv.Count {
+				r.driftf("histogram %s: count %d vs %d", name, av.Count, bv.Count)
+			}
+			if len(av.Buckets) != len(bv.Buckets) {
+				r.driftf("histogram %s: %d buckets vs %d", name, len(av.Buckets), len(bv.Buckets))
+			} else {
+				for i := range av.Buckets {
+					if av.Buckets[i] != bv.Buckets[i] {
+						r.driftf("histogram %s: bucket[%d] (le=%.6g) %d vs %d",
+							name, i, av.Bounds[i], av.Buckets[i], bv.Buckets[i])
+					}
+				}
+			}
+			// Sums are scheduling-order-dependent float accumulations:
+			// compare with relative tolerance.
+			if d := relDiff(av.Value, bv.Value); d > opts.SumTol {
+				r.driftf("histogram %s: sum %.9g vs %.9g (rel Δ %.2e > tol %.0e)",
+					name, av.Value, bv.Value, d, opts.SumTol)
+			} else if av.Value != bv.Value {
+				r.infof("histogram %s: sum differs within tolerance (rel Δ %.2e)",
+					name, relDiff(av.Value, bv.Value))
+			}
+		}
+	}
+	for _, name := range sortedKeys(b) {
+		if _, ok := a[name]; !ok {
+			r.driftf("metric %s: missing from reference", name)
+		}
+	}
+}
+
+func compareFunnels(a, b []FunnelSnapshot, r *DiffResult) {
+	am, bm := funnelsByName(a), funnelsByName(b)
+	for _, name := range sortedKeys(am) {
+		af := am[name]
+		bf, ok := bm[name]
+		if !ok {
+			r.driftf("funnel %s: missing from candidate", name)
+			continue
+		}
+		if af.In != bf.In {
+			r.driftf("funnel %s: in %d vs %d", name, af.In, bf.In)
+		}
+		if af.Out != bf.Out {
+			r.driftf("funnel %s: kept %d vs %d", name, af.Out, bf.Out)
+		}
+		reasons := map[string]bool{}
+		for _, d := range af.Drops {
+			reasons[d.Reason] = true
+		}
+		for _, d := range bf.Drops {
+			reasons[d.Reason] = true
+		}
+		for _, reason := range sortedKeys(reasons) {
+			if an, bn := af.DropN(reason), bf.DropN(reason); an != bn {
+				r.driftf("funnel %s: drop %s %d vs %d", name, reason, an, bn)
+			}
+		}
+		if !bf.Balanced() {
+			r.warnf("funnel %s: candidate unbalanced (in %d != kept %d + dropped %d)",
+				name, bf.In, bf.Out, bf.Dropped())
+		}
+	}
+	for _, name := range sortedKeys(bm) {
+		if _, ok := am[name]; !ok {
+			r.driftf("funnel %s: missing from reference", name)
+		}
+	}
+}
+
+// compareStages checks the root-level stage sequence — names must match in
+// order (the run executed the same stages) — and flags wall-time regressions.
+// Child spans are ignored: worker spans make subtree shapes
+// scheduling-dependent by design.
+func compareStages(a, b []SpanSnapshot, opts DiffOptions, r *DiffResult) {
+	if len(a) != len(b) {
+		r.driftf("stages: %d root stages vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Name != b[i].Name {
+			r.driftf("stage[%d]: %q vs %q", i, a[i].Name, b[i].Name)
+			continue
+		}
+		if a[i].DurMS >= minWallMS && b[i].DurMS > a[i].DurMS*opts.MaxWallRegress {
+			r.warnf("stage %s: wall %.0fms vs %.0fms (> %.1fx regression)",
+				a[i].Name, a[i].DurMS, b[i].DurMS, opts.MaxWallRegress)
+		}
+	}
+}
+
+// relDiff returns |a-b| / max(|a|, |b|), 0 when both are 0.
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func funnelsByName(snaps []FunnelSnapshot) map[string]FunnelSnapshot {
+	out := make(map[string]FunnelSnapshot, len(snaps))
+	for _, s := range snaps {
+		out[s.Name] = s
+	}
+	return out
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

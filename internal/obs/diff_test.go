@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// testManifest builds a self-consistent manifest by hand — no Default
+// registry involvement, so diff tests are order-independent.
+func testManifest() *Manifest {
+	return &Manifest{
+		Tool: "reproduce", Seed: 42, Scale: "tiny",
+		GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64",
+		WallMS: 1000,
+		Stages: []SpanSnapshot{
+			{Name: "table1", DurMS: 200, Ended: true},
+			{Name: "colocation", DurMS: 700, Ended: true},
+		},
+		Metrics: map[string]MetricValue{
+			"ping.rtts_measured": {Type: "counter", Value: 5000},
+			"capacity.sites_tracked": {Type: "gauge", Value: 12},
+			"ping.rtt_ms": {
+				Type: "histogram", Value: 123.456, Count: 100,
+				Bounds: []float64{1, 5, 10}, Buckets: []int64{10, 40, 30, 20},
+			},
+		},
+		Funnels: []FunnelSnapshot{
+			{Name: "ping.filter", In: 100, Out: 90,
+				Drops: []FunnelDrop{{Reason: "unresponsive", N: 10}}},
+		},
+	}
+}
+
+func hasEntry(entries []string, substr string) bool {
+	for _, e := range entries {
+		if strings.Contains(e, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareManifestsIdentical(t *testing.T) {
+	r := CompareManifests(testManifest(), testManifest(), DiffOptions{})
+	if r.HasDrift() {
+		t.Fatalf("identical manifests drifted: %v", r.Drift)
+	}
+	if len(r.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", r.Warnings)
+	}
+}
+
+func TestCompareManifestsCounterDrift(t *testing.T) {
+	b := testManifest()
+	b.Metrics["ping.rtts_measured"] = MetricValue{Type: "counter", Value: 5001}
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if !r.HasDrift() || !hasEntry(r.Drift, "ping.rtts_measured") {
+		t.Fatalf("counter delta not drift: %v", r.Drift)
+	}
+}
+
+func TestCompareManifestsGaugeIsInformational(t *testing.T) {
+	b := testManifest()
+	b.Metrics["capacity.sites_tracked"] = MetricValue{Type: "gauge", Value: 13}
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if r.HasDrift() {
+		t.Fatalf("gauge difference must not be drift: %v", r.Drift)
+	}
+	if !hasEntry(r.Infos, "capacity.sites_tracked") {
+		t.Fatalf("gauge difference not reported: %v", r.Infos)
+	}
+}
+
+func TestCompareManifestsHistogramSumTolerance(t *testing.T) {
+	b := testManifest()
+	m := b.Metrics["ping.rtt_ms"]
+	m.Value += 1e-10 // within default 1e-9 relative tolerance
+	b.Metrics["ping.rtt_ms"] = m
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if r.HasDrift() {
+		t.Fatalf("in-tolerance sum flagged as drift: %v", r.Drift)
+	}
+	if !hasEntry(r.Infos, "within tolerance") {
+		t.Fatalf("in-tolerance sum not reported: %v", r.Infos)
+	}
+
+	m.Value += 1 // way out of tolerance
+	b.Metrics["ping.rtt_ms"] = m
+	if r := CompareManifests(testManifest(), b, DiffOptions{}); !r.HasDrift() {
+		t.Fatal("out-of-tolerance sum not drift")
+	}
+}
+
+func TestCompareManifestsBucketAndFunnelDrift(t *testing.T) {
+	b := testManifest()
+	m := b.Metrics["ping.rtt_ms"]
+	m.Buckets = []int64{11, 39, 30, 20} // same count, moved mass
+	b.Metrics["ping.rtt_ms"] = m
+	b.Funnels[0].Out = 89
+	b.Funnels[0].Drops[0].N = 11
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if !hasEntry(r.Drift, "bucket[0]") {
+		t.Fatalf("bucket shift not drift: %v", r.Drift)
+	}
+	if !hasEntry(r.Drift, "funnel ping.filter: kept 90 vs 89") {
+		t.Fatalf("funnel kept drift not reported: %v", r.Drift)
+	}
+	if !hasEntry(r.Drift, "drop unresponsive 10 vs 11") {
+		t.Fatalf("funnel drop drift not reported: %v", r.Drift)
+	}
+}
+
+func TestCompareManifestsMissingSeries(t *testing.T) {
+	b := testManifest()
+	delete(b.Metrics, "ping.rtts_measured")
+	b.Funnels = nil
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if !hasEntry(r.Drift, "metric ping.rtts_measured: missing from candidate") {
+		t.Fatalf("missing metric not drift: %v", r.Drift)
+	}
+	if !hasEntry(r.Drift, "funnel ping.filter: missing from candidate") {
+		t.Fatalf("missing funnel not drift: %v", r.Drift)
+	}
+}
+
+func TestCompareManifestsSeedAndStageDrift(t *testing.T) {
+	b := testManifest()
+	b.Seed = 43
+	b.Stages = []SpanSnapshot{
+		{Name: "table1", DurMS: 200, Ended: true},
+		{Name: "capacity", DurMS: 700, Ended: true},
+	}
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if !hasEntry(r.Drift, "seed: 42 vs 43") {
+		t.Fatalf("seed mismatch not drift: %v", r.Drift)
+	}
+	if !hasEntry(r.Drift, `stage[1]: "colocation" vs "capacity"`) {
+		t.Fatalf("stage rename not drift: %v", r.Drift)
+	}
+}
+
+func TestCompareManifestsWallRegressionWarns(t *testing.T) {
+	b := testManifest()
+	b.Stages[1].DurMS = 2000 // 700 → 2000 is past the 2x default
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if r.HasDrift() {
+		t.Fatalf("wall regression must not be drift: %v", r.Drift)
+	}
+	if !hasEntry(r.Warnings, "colocation") {
+		t.Fatalf("regression not warned: %v", r.Warnings)
+	}
+	// Sub-threshold stages never warn, however large the ratio.
+	c := testManifest()
+	c.Stages[0].DurMS = 5
+	d := testManifest()
+	d.Stages[0].DurMS = 45
+	if r := CompareManifests(c, d, DiffOptions{}); len(r.Warnings) != 0 {
+		t.Fatalf("noise-floor stage warned: %v", r.Warnings)
+	}
+}
+
+func TestCompareManifestsUnbalancedFunnelWarns(t *testing.T) {
+	b := testManifest()
+	b.Funnels[0].In = 101 // 101 != 90 + 10
+	r := CompareManifests(testManifest(), b, DiffOptions{})
+	if !hasEntry(r.Warnings, "unbalanced") {
+		t.Fatalf("unbalanced funnel not warned: %v", r.Warnings)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// The -events JSONL stream: one JSON object per line, emitted live as the
+// run progresses, so an external consumer (tail -f, jq, a dashboard) watches
+// stages open and close and funnel counts move without polling the debug
+// endpoint. The stream is observability-only — timestamps and durations
+// vary run to run; the deterministic record of a run is the manifest.
+
+// Event is one line of the event stream.
+type Event struct {
+	// Type is "span_start", "span_end", or "funnel".
+	Type string `json:"type"`
+	// AtMS is the event's offset from the sink's creation, in milliseconds.
+	AtMS float64 `json:"at_ms"`
+	// Span is the slash-joined span path ("colocation/ping-campaign") for
+	// span events.
+	Span string `json:"span,omitempty"`
+	// DurMS and AllocBytes mirror the span snapshot, on span_end only.
+	DurMS      float64        `json:"dur_ms,omitempty"`
+	AllocBytes uint64         `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	// Funnel carries the stage's full accounting on funnel events, emitted
+	// whenever a root span ends with the stage's counts changed, and once
+	// more with the final totals when the sink closes.
+	Funnel *FunnelSnapshot `json:"funnel,omitempty"`
+}
+
+// EventSink writes events as JSONL. All methods are safe for concurrent use
+// and safe on a nil receiver, so instrumented code never checks whether a
+// stream was requested.
+type EventSink struct {
+	start time.Time
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	last   map[string]FunnelSnapshot
+	closed bool
+}
+
+// OpenEventSink creates (truncating) the JSONL file at path.
+func OpenEventSink(path string) (*EventSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open event stream %s: %w", path, err)
+	}
+	return NewEventSink(f), nil
+}
+
+// NewEventSink wraps a writer as an event sink. If w is also an io.Closer it
+// is closed by Close.
+func NewEventSink(w io.Writer) *EventSink {
+	s := &EventSink{
+		start: time.Now(),
+		w:     bufio.NewWriter(w),
+		last:  make(map[string]FunnelSnapshot),
+	}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes one event, stamping AtMS, and flushes so consumers see it
+// immediately (the stream is line-buffered, not end-buffered: a `tail -f`
+// must read a stage's start before the stage finishes).
+func (s *EventSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	e.AtMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.w.Write(data)
+	s.w.WriteByte('\n')
+	s.w.Flush()
+}
+
+// EmitFunnels emits one funnel event per registered funnel whose snapshot
+// changed since the last emission — called by the tracer when a root span
+// ends, and by the CLI teardown for the final totals.
+func (s *EventSink) EmitFunnels(r *Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	for _, snap := range r.FunnelSnapshots() {
+		s.mu.Lock()
+		prev, seen := s.last[snap.Name]
+		changed := !seen || prev.In != snap.In || prev.Out != snap.Out || prev.Dropped() != snap.Dropped()
+		if changed {
+			s.last[snap.Name] = snap
+		}
+		s.mu.Unlock()
+		if changed {
+			snap := snap
+			s.Emit(Event{Type: "funnel", Funnel: &snap})
+		}
+	}
+}
+
+// Close flushes and closes the underlying writer. Idempotent.
+func (s *EventSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeEvents parses a JSONL stream back into events, failing on any
+// malformed line.
+func decodeEvents(t *testing.T, data []byte) []Event {
+	t.Helper()
+	var out []Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("malformed event line %q: %v", sc.Text(), err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestEventSinkSpanStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewTracer()
+	tr.SetSink(sink)
+
+	root := tr.Start("colocation")
+	child := tr.Start("ping-campaign")
+	child.SetAttr("targets", 163)
+	child.End()
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := decodeEvents(t, buf.Bytes())
+	var types, spans []string
+	for _, e := range events {
+		if e.Type == "funnel" {
+			continue // global funnels may flush on root end; not under test here
+		}
+		types = append(types, e.Type)
+		spans = append(spans, e.Span)
+	}
+	wantTypes := []string{"span_start", "span_start", "span_end", "span_end"}
+	wantSpans := []string{"colocation", "colocation/ping-campaign", "colocation/ping-campaign", "colocation"}
+	if strings.Join(types, ",") != strings.Join(wantTypes, ",") {
+		t.Fatalf("event types = %v, want %v", types, wantTypes)
+	}
+	if strings.Join(spans, ",") != strings.Join(wantSpans, ",") {
+		t.Fatalf("event spans = %v, want %v", spans, wantSpans)
+	}
+	// span_end carries duration and attrs.
+	for _, e := range events {
+		if e.Type == "span_end" && e.Span == "colocation/ping-campaign" {
+			if e.DurMS < 0 || e.Attrs["targets"] != float64(163) {
+				t.Fatalf("bad span_end payload: %+v", e)
+			}
+		}
+	}
+}
+
+func TestEventSinkEmitFunnelsOnChange(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	r := NewRegistry()
+	f := r.NewFunnel("test.stream_stage", "")
+
+	f.In(5)
+	f.Out(5)
+	sink.EmitFunnels(r)
+	sink.EmitFunnels(r) // unchanged: must not re-emit
+	f.In(1)
+	f.Drop("late", 1)
+	sink.EmitFunnels(r)
+	sink.Close()
+
+	events := decodeEvents(t, buf.Bytes())
+	if len(events) != 2 {
+		t.Fatalf("got %d funnel events, want 2: %+v", len(events), events)
+	}
+	if events[0].Funnel == nil || events[0].Funnel.In != 5 {
+		t.Fatalf("first emission wrong: %+v", events[0])
+	}
+	if events[1].Funnel.In != 6 || events[1].Funnel.DropN("late") != 1 {
+		t.Fatalf("second emission wrong: %+v", events[1])
+	}
+}
+
+func TestEventSinkNilAndClosed(t *testing.T) {
+	var sink *EventSink
+	sink.Emit(Event{Type: "span_start"})
+	sink.EmitFunnels(Default)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.Emit(Event{Type: "span_start", Span: "a"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	s.Emit(Event{Type: "span_start", Span: "after-close"})
+	if buf.Len() != n {
+		t.Fatal("emit after close wrote data")
+	}
+}
+
+func TestTracerSinkDetach(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewTracer()
+	tr.SetSink(sink)
+	tr.Start("one").End()
+	tr.SetSink(nil)
+	tr.Start("two").End()
+	sink.Close()
+
+	for _, e := range decodeEvents(t, buf.Bytes()) {
+		if e.Span == "two" {
+			t.Fatal("event emitted after sink detached")
+		}
+	}
+}

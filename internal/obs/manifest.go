@@ -25,6 +25,10 @@ type Manifest struct {
 	WallMS    float64                `json:"wall_ms"`
 	Stages    []SpanSnapshot         `json:"stages"`
 	Metrics   map[string]MetricValue `json:"metrics"`
+	// Funnels is the data-provenance accounting: per filtering stage, how
+	// many items entered, were kept, and were dropped for which reason.
+	// Deterministic at any worker count.
+	Funnels []FunnelSnapshot `json:"funnels,omitempty"`
 }
 
 // BuildManifest assembles a manifest from a finished (or in-flight) tracer
@@ -40,6 +44,7 @@ func BuildManifest(tool string, seed int64, scale string, tr *Tracer, start time
 		GOARCH:    runtime.GOARCH,
 		Stages:    tr.Snapshot(start),
 		Metrics:   Default.Snapshot(),
+		Funnels:   Default.FunnelSnapshots(),
 	}
 	if !start.IsZero() {
 		m.StartedAt = start.UTC().Format(time.RFC3339)

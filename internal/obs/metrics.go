@@ -16,10 +16,11 @@ import (
 // Registry holds named metrics. The zero value is not ready; use
 // NewRegistry or the package-level Default registry.
 type Registry struct {
-	mu     sync.RWMutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu      sync.RWMutex
+	counts  map[string]*Counter
+	gauges  map[string]*Gauge
+	hists   map[string]*Histogram
+	funnels map[string]*Funnel
 }
 
 // Default is the process-wide registry the internal packages register into.
@@ -28,9 +29,43 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counts: make(map[string]*Counter),
-		gauges: make(map[string]*Gauge),
-		hists:  make(map[string]*Histogram),
+		counts:  make(map[string]*Counter),
+		gauges:  make(map[string]*Gauge),
+		hists:   make(map[string]*Histogram),
+		funnels: make(map[string]*Funnel),
+	}
+}
+
+// Reset zeroes every registered metric and funnel without unregistering
+// anything. It is a TEST-ONLY helper: package-level metric vars stay bound
+// to their (now zeroed) instances, so a test can reset the shared Default
+// registry and assert absolute values instead of deltas — assertions no
+// longer depend on which tests ran first. Production code never calls it;
+// counters are documented as cumulative over the process.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counts {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.n.Store(0)
+	}
+	for _, f := range r.funnels {
+		f.in.Store(0)
+		f.out.Store(0)
+		f.mu.RLock()
+		for _, c := range f.reasons {
+			c.v.Store(0)
+		}
+		f.mu.RUnlock()
 	}
 }
 
@@ -49,6 +84,15 @@ func (c *Counter) Add(n int64) {
 
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
+
+// Help returns the registration help string ("" for nil or unregistered
+// counters, e.g. funnel drop reasons).
+func (c *Counter) Help() string {
+	if c == nil {
+		return ""
+	}
+	return c.help
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 {
@@ -77,6 +121,14 @@ func (g *Gauge) Value() float64 {
 		return 0
 	}
 	return math.Float64frombits(g.bits.Load())
+}
+
+// Help returns the registration help string.
+func (g *Gauge) Help() string {
+	if g == nil {
+		return ""
+	}
+	return g.help
 }
 
 // Histogram counts observations into fixed buckets. An observation lands in
@@ -113,6 +165,14 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	return h.n.Load()
+}
+
+// Help returns the registration help string.
+func (h *Histogram) Help() string {
+	if h == nil {
+		return ""
+	}
+	return h.help
 }
 
 // Sum returns the sum of observed values.

@@ -14,7 +14,9 @@ package obs
 
 import (
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,10 +30,30 @@ type Tracer struct {
 	// Start nests new spans under it. Pipeline stages run sequentially, so
 	// a single cursor reproduces the call tree.
 	cur *Span
+	// sink, when set, receives live span_start/span_end events and funnel
+	// snapshots whenever a root span ends (the -events JSONL stream).
+	sink atomic.Pointer[EventSink]
 }
 
 // NewTracer returns an enabled tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// SetSink attaches a live event stream: every Start/Child/End emits a span
+// event, and each root span's End additionally emits the funnel snapshots
+// that changed. Pass nil to detach. Safe on a nil tracer.
+func (t *Tracer) SetSink(s *EventSink) {
+	if t != nil {
+		t.sink.Store(s)
+	}
+}
+
+// eventSink returns the attached sink (nil when detached or nil tracer).
+func (t *Tracer) eventSink() *EventSink {
+	if t == nil {
+		return nil
+	}
+	return t.sink.Load()
+}
 
 // Start opens a span. If another span is open, the new span becomes its
 // child; otherwise it is a root. Safe on a nil tracer (returns nil).
@@ -57,6 +79,7 @@ func (t *Tracer) Start(name string) *Span {
 	}
 	t.cur = s
 	t.mu.Unlock()
+	t.eventSink().Emit(Event{Type: "span_start", Span: s.Path()})
 	return s
 }
 
@@ -133,7 +156,25 @@ func (s *Span) Child(name string) *Span {
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
+	if t := s.tracer; t != nil {
+		t.eventSink().Emit(Event{Type: "span_start", Span: c.Path()})
+	}
 	return c
+}
+
+// Path returns the slash-joined span path from its root ("" for nil spans).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	var names []string
+	for c := s; c != nil; c = c.parent {
+		names = append(names, c.name)
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, "/")
 }
 
 // End closes the span, recording its duration and allocation delta. Ending
@@ -154,6 +195,13 @@ func (s *Span) End() {
 	s.dur = time.Since(s.start)
 	s.allocB = ms.TotalAlloc - s.startAllocs
 	s.mallocs = ms.Mallocs - s.startMallocs
+	var attrs map[string]any
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.Key] = a.Value
+		}
+	}
 	s.mu.Unlock()
 
 	if t := s.tracer; t != nil {
@@ -166,6 +214,19 @@ func (s *Span) End() {
 			}
 		}
 		t.mu.Unlock()
+		if sink := t.eventSink(); sink != nil {
+			sink.Emit(Event{
+				Type: "span_end", Span: s.Path(),
+				DurMS:      float64(s.dur) / float64(time.Millisecond),
+				AllocBytes: s.allocB,
+				Attrs:      attrs,
+			})
+			if s.parent == nil {
+				// A top-level stage finished: stream whichever funnel
+				// accounting it moved.
+				sink.EmitFunnels(Default)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format 0.0.4 for the registry, so a standard
+// scraper (or `curl /metrics`) reads the same counters the manifest records.
+// Internal metric names keep their "<package>.<noun>_<verb>" spelling in the
+// registry; the exposition maps '.' (invalid in Prometheus identifiers) to
+// '_', e.g. "ping.rtts_measured" → "ping_rtts_measured". Funnels export as
+// three labelled families — funnel_in_total, funnel_out_total, and
+// funnel_dropped_total{funnel,reason} — so drop reasons stay queryable
+// without a metric-name explosion.
+
+// PromContentType is the Content-Type of the 0.0.4 text format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric and funnel in Prometheus
+// text exposition format 0.0.4: a # HELP and # TYPE line per family, bucket
+// series with cumulative counts and an explicit +Inf bound, and _sum/_count
+// series for histograms. Families are sorted by name, so equal registry
+// states render byte-identically.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		m := snap[name]
+		pname := promName(name)
+		writePromHeader(w, pname, m.Help, m.Type)
+		switch m.Type {
+		case "histogram":
+			var cum int64
+			for i, bound := range m.Bounds {
+				cum += m.Buckets[i]
+				le := promFloat(bound)
+				if bound == math.MaxFloat64 {
+					// Snapshot stores the overflow bound JSON-safely as
+					// MaxFloat64; the exposition restores the +Inf bucket.
+					le = "+Inf"
+				}
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pname, le, cum)
+			}
+			fmt.Fprintf(w, "%s_sum %s\n", pname, promFloat(m.Value))
+			fmt.Fprintf(w, "%s_count %d\n", pname, m.Count)
+		default:
+			fmt.Fprintf(w, "%s %s\n", pname, promFloat(m.Value))
+		}
+	}
+
+	funnels := r.FunnelSnapshots()
+	if len(funnels) == 0 {
+		return
+	}
+	writePromHeader(w, "funnel_in_total", "items entering each pipeline filtering stage", "counter")
+	for _, f := range funnels {
+		fmt.Fprintf(w, "funnel_in_total{funnel=\"%s\"} %d\n", promLabel(f.Name), f.In)
+	}
+	writePromHeader(w, "funnel_out_total", "items surviving each pipeline filtering stage", "counter")
+	for _, f := range funnels {
+		fmt.Fprintf(w, "funnel_out_total{funnel=\"%s\"} %d\n", promLabel(f.Name), f.Out)
+	}
+	writePromHeader(w, "funnel_dropped_total", "items dropped per filtering stage and reason", "counter")
+	for _, f := range funnels {
+		for _, d := range f.Drops {
+			fmt.Fprintf(w, "funnel_dropped_total{funnel=\"%s\",reason=\"%s\"} %d\n",
+				promLabel(f.Name), promLabel(d.Reason), d.N)
+		}
+	}
+}
+
+// PromHandler serves the registry as a Prometheus scrape endpoint.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+func writePromHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, promHelp(help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// promName maps a registry name onto the Prometheus identifier grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every invalid byte (notably the '.'
+// namespace separator) with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promHelp escapes a HELP text per the format: backslash and newline.
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabel escapes a label value body per the format: backslash, double
+// quote, and newline.
+func promLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a float the way Prometheus parsers expect, including
+// the "+Inf" spelling for the overflow bucket bound.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -28,6 +28,18 @@ import (
 var mCertsClassified = obs.NewCounter("scan.certs_classified",
 	"scan records classified against the offnet inference rules")
 
+// fClassify accounts the §2.2 discovery funnel: every scan record enters,
+// records without an IP-to-AS mapping hit are dropped as unrouted, records in
+// hypergiant-announced space are onnet (not offnet candidates), and records
+// whose certificate matches no rule drop as no_cert_match; the remainder are
+// inferred offnets.
+var (
+	fClassify         = obs.NewFunnel("offnetmap.classify", "TLS scan records entering offnet inference vs. classified as offnets")
+	fClassifyUnrouted = fClassify.Reason("unrouted")
+	fClassifyOnnet    = fClassify.Reason("onnet_space")
+	fClassifyNoMatch  = fClassify.Reason("no_cert_match")
+)
+
 // Rule decides whether a certificate belongs to a hypergiant.
 type Rule struct {
 	HG traffic.HG
@@ -192,23 +204,33 @@ func Infer(w *inet.World, records []scan.Record, rules []Rule) *Result {
 			res.ISPs[rule.HG] = make(map[inet.ASN]bool)
 		}
 	}
+	fClassify.In(int64(len(records)))
 	for _, rec := range records {
 		as, ok := w.OwnerOf(rec.Addr)
 		if !ok {
+			fClassifyUnrouted.Inc()
 			continue
 		}
 		owner, ok := w.ISPs[as]
 		if !ok || owner.Tier == inet.TierContent {
 			// Hypergiant-announced space: onnet, not offnet.
+			fClassifyOnnet.Inc()
 			continue
 		}
+		matched := false
 		for _, rule := range rules {
 			if !rule.Matches(rec.Cert) {
 				continue
 			}
 			res.Offnets = append(res.Offnets, Offnet{Addr: rec.Addr, HG: rule.HG, ISP: as})
 			res.ISPs[rule.HG][as] = true
+			matched = true
 			break
+		}
+		if matched {
+			fClassify.Out(1)
+		} else {
+			fClassifyNoMatch.Inc()
 		}
 	}
 	return res

@@ -24,9 +24,19 @@ var (
 	mTracesRun = obs.NewCounter("tracert.traces_run",
 		"traceroutes issued by the peering survey")
 	mHopsMapped = obs.NewCounter("tracert.hops_mapped",
-		"traceroute hops mapped to networks during inference")
+		"traceroute hops successfully mapped to a network during inference")
 	mHopsPerTrace = obs.NewHistogram("tracert.hops_per_trace",
 		"hop counts per traceroute", []float64{2, 4, 6, 8, 12, 16, 24})
+)
+
+// fHops accounts the hop-level IP-to-network mapping of §4.2.1: every hop of
+// every trace enters the inference, unresponsive hops ('*' lines) and hops
+// whose address maps to no announced prefix or fabric membership are dropped,
+// the remainder are mapped. Out reconciles exactly with tracert.hops_mapped.
+var (
+	fHops             = obs.NewFunnel("tracert.hops", "traceroute hops entering the peering inference vs. mapped to a network")
+	fHopsUnresponsive = fHops.Reason("unresponsive")
+	fHopsUnmapped     = fHops.Reason("unmapped")
 )
 
 // Hop is one traceroute hop. Unresponsive hops appear with Responded=false
@@ -280,7 +290,7 @@ func Infer(w *inet.World, hg traffic.HG, contentAS inet.ASN, traces map[inet.ASN
 	for as, list := range traces {
 		inf := ISPInference{Class: ClassNoEvidence}
 		for _, tr := range list {
-			mHopsMapped.Add(int64(len(tr.Hops)))
+			accountHops(w, tr)
 			classifyTrace(w, contentAS, as, tr, &inf)
 		}
 		out[as] = inf
@@ -288,23 +298,49 @@ func Infer(w *inet.World, hg traffic.HG, contentAS inet.ASN, traces map[inet.ASN
 	return out
 }
 
-func classifyTrace(w *inet.World, contentAS inet.ASN, target inet.ASN, tr Trace, inf *ISPInference) {
-	mapHop := func(h Hop) (owner inet.ASN, viaIXP bool, ok bool) {
-		if !h.Responded {
-			return 0, false, false
+// accountHops feeds the tracert.hops funnel and the hops_mapped counter for
+// one trace, batched into single atomic adds per trace.
+func accountHops(w *inet.World, tr Trace) {
+	var unresp, unmapped, mapped int64
+	for _, h := range tr.Hops {
+		switch {
+		case !h.Responded:
+			unresp++
+		default:
+			if _, _, ok := mapHop(w, h); ok {
+				mapped++
+			} else {
+				unmapped++
+			}
 		}
-		if x, member, found := w.IXPOf(h.Addr); found && x != nil {
-			return member, true, member != 0
-		}
-		as, found := w.OwnerOf(h.Addr)
-		return as, false, found
 	}
+	fHops.In(int64(len(tr.Hops)))
+	fHops.Out(mapped)
+	fHopsUnresponsive.Add(unresp)
+	fHopsUnmapped.Add(unmapped)
+	mHopsMapped.Add(mapped)
+}
+
+// mapHop resolves a responsive hop to its owning network: exchange fabric
+// addresses map to the member ISP, everything else to the announcing AS.
+func mapHop(w *inet.World, h Hop) (owner inet.ASN, viaIXP bool, ok bool) {
+	if !h.Responded {
+		return 0, false, false
+	}
+	if x, member, found := w.IXPOf(h.Addr); found && x != nil {
+		return member, true, member != 0
+	}
+	as, found := w.OwnerOf(h.Addr)
+	return as, false, found
+}
+
+func classifyTrace(w *inet.World, contentAS inet.ASN, target inet.ASN, tr Trace, inf *ISPInference) {
 	for i := 0; i < len(tr.Hops)-1; i++ {
 		h := tr.Hops[i]
 		if !h.Responded {
 			continue
 		}
-		owner, _, ok := mapHop(h)
+		owner, _, ok := mapHop(w, h)
 		if !ok || owner != contentAS {
 			continue
 		}
@@ -318,7 +354,7 @@ func classifyTrace(w *inet.World, contentAS inet.ASN, target inet.ASN, tr Trace,
 				j++
 				continue
 			}
-			nOwner, viaIXP, nOK := mapHop(next)
+			nOwner, viaIXP, nOK := mapHop(w, next)
 			if !nOK {
 				break
 			}
