@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare check report runs-diff golden
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare check report runs-diff golden fuzz-smoke check-chaos golden-chaos
 
 build:
 	$(GO) build ./...
@@ -62,3 +62,25 @@ runs-diff:
 # commit the result and say why in the commit message).
 golden:
 	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/golden-out -manifest out/golden_manifest.json
+
+# Short live-fuzz pass over every fuzz target (one target per invocation, as
+# the toolchain requires) — keeps the fuzz harnesses and seed corpora honest
+# without burning CI time.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test ./internal/cert -run '^FuzzMatchPattern$$' -fuzz '^FuzzMatchPattern$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cert -run '^FuzzFingerprint$$' -fuzz '^FuzzFingerprint$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/offnetmap -run '^FuzzRuleMatches$$' -fuzz '^FuzzRuleMatches$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rdns -run '^FuzzExtractMetro$$' -fuzz '^FuzzExtractMetro$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rdns -run '^FuzzLearnedExtract$$' -fuzz '^FuzzLearnedExtract$$' -fuzztime $(FUZZTIME)
+
+# Chaos determinism gate: reproduce under the heavy fault profile at the
+# golden seeds and diff against the checked-in degraded reference. The run
+# must exit 0 (degraded, not failed) and drift-free.
+check-chaos:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -chaos heavy -chaos-seed 7 -out /tmp/chaosdiff-out -manifest /tmp/chaosdiff-out/manifest.json
+	$(GO) run ./cmd/runsdiff out/golden_chaos_manifest.json /tmp/chaosdiff-out/manifest.json
+
+# Regenerate the chaos golden manifest (same rules as `make golden`).
+golden-chaos:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -chaos heavy -chaos-seed 7 -out /tmp/golden-chaos-out -manifest out/golden_chaos_manifest.json

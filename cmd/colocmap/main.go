@@ -25,7 +25,11 @@ func main() {
 	ctx, stop := common.Context()
 	defer stop()
 
-	p := common.Pipeline()
+	p, err := common.Pipeline()
+	if err != nil {
+		logger.Error("invalid flags", "err", err)
+		os.Exit(2)
+	}
 	tr := obs.NewTracer()
 	p.Instrument(tr)
 	stopObs, err := common.Observability(ctx, tr, logger)

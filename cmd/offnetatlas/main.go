@@ -33,7 +33,10 @@ func main() {
 	ctx, stop := common.Context()
 	defer stop()
 
-	p := common.Pipeline()
+	p, err := common.Pipeline()
+	if err != nil {
+		fatal("invalid flags", err)
+	}
 	tr := obs.NewTracer()
 	p.Instrument(tr)
 	stopObs, err := common.Observability(ctx, tr, logger)
@@ -49,6 +52,7 @@ func main() {
 	logger.Info("running latency campaign")
 	mcfg := mlab.DefaultConfig(common.Seed)
 	mcfg.Workers = common.Workers
+	mcfg.Chaos = p.Chaos
 	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(163, common.Seed), mcfg)
 	if err != nil {
 		fatal("latency campaign failed", err)

@@ -59,6 +59,11 @@ func main() {
 	}
 	ctx, stop := common.Context()
 	defer stop()
+	// World generation injects no faults, but the shared -chaos flag should
+	// still reject unknown profiles here like everywhere else.
+	if _, err := common.Injector(); err != nil {
+		fatal("invalid flags", err)
+	}
 	stopObs, err := common.Observability(ctx, obs.NewTracer(), logger)
 	if err != nil {
 		fatal("observability setup failed", err)

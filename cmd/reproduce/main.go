@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"offnetrisk"
+	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/cli"
 	"offnetrisk/internal/coloc"
 	"offnetrisk/internal/geo"
@@ -55,7 +56,11 @@ func main() {
 	}
 
 	tr := obs.NewTracer()
-	p := common.Pipeline()
+	p, err := common.Pipeline()
+	if err != nil {
+		logger.Error("invalid flags", "err", err)
+		os.Exit(2)
+	}
 	p.Instrument(tr)
 
 	stopObs, err := common.Observability(ctx, tr, logger)
@@ -265,6 +270,26 @@ func main() {
 		return nil
 	})
 
+	// Degradation verdict: under chaos, a stage losing more than its
+	// threshold to injected faults marks the run degraded — reported, not
+	// failed. Clean runs skip the section entirely, keeping REPORT.md
+	// byte-identical to a build without fault injection.
+	run("chaos-degradation", func() error {
+		if !p.Chaos.Enabled() {
+			return nil
+		}
+		stages := chaos.DegradedStages(obs.Default.FunnelSnapshots(), chaos.DefaultThresholds())
+		fmt.Fprintf(&md, "\n## Fault injection (chaos)\n\nProfile `%s`, chaos-seed %d. Injected faults are accounted in the\nchaos.* counters and the chaos_* drop reasons of the funnel table above.\n\n",
+			p.Chaos.ProfileName(), p.Chaos.Seed())
+		if len(stages) == 0 {
+			fmt.Fprintf(&md, "No stage exceeded its degradation threshold: the run is **not degraded**.\n")
+		} else {
+			fmt.Fprintf(&md, "**Run degraded** — stages over their chaos-loss threshold: %s.\n",
+				strings.Join(stages, ", "))
+		}
+		return nil
+	})
+
 	run("report", func() error {
 		return writeFile("REPORT.md", md.String())
 	})
@@ -272,6 +297,7 @@ func main() {
 	if *manifestPath != "" {
 		run("manifest", func() error {
 			m := obs.BuildManifest("reproduce", common.Seed, scale.String(), tr, start)
+			chaos.Annotate(m, p.Chaos, chaos.DefaultThresholds())
 			if err := m.WriteFile(*manifestPath); err != nil {
 				return err
 			}
@@ -308,6 +334,7 @@ func reachabilityOf(ctx context.Context, p *offnetrisk.Pipeline, workers int) ([
 	}
 	mcfg := mlab.DefaultConfig(p.Seed)
 	mcfg.Workers = workers
+	mcfg.Chaos = p.Chaos
 	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(163, p.Seed), mcfg)
 	if err != nil {
 		return nil, err

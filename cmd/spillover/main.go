@@ -31,7 +31,10 @@ func main() {
 	ctx, stop := common.Context()
 	defer stop()
 
-	p := common.Pipeline()
+	p, err := common.Pipeline()
+	if err != nil {
+		fatal("invalid flags", err)
+	}
 	tr := obs.NewTracer()
 	p.Instrument(tr)
 	stopObs, err := common.Observability(ctx, tr, logger)

@@ -103,6 +103,7 @@ func (p *Pipeline) ColocationContext(ctx context.Context) (*ColocationResult, er
 	sites := mlab.Sites(163, p.Seed)
 	mcfg := mlab.DefaultConfig(p.Seed)
 	mcfg.Workers = p.Workers
+	mcfg.Chaos = p.Chaos
 	campaign, err := mlab.MeasureContext(sctx, d, sites, mcfg)
 	if err != nil {
 		sp.End()

@@ -1,0 +1,388 @@
+// Package chaos is the deterministic fault-injection layer: it perturbs
+// every measurement stage of the reproduction — probe loss, target
+// blackouts and RTT stragglers in the mlab ping campaign, hop silence,
+// unmapped-address noise and truncation in the tracert survey, cert fetch
+// failures and mangled certificates in the TLS-scan classification, and
+// transient per-item errors (with bounded retry) everywhere — the failure
+// shapes the paper's real pipelines face (§3.2, §4.2.1, Appendix A).
+//
+// Every fault decision is a pure hash of (chaos seed, fault kind, item
+// labels) via rngutil.Derive substreams: no sequential stream is ever
+// advanced, so decisions are independent of worker count and schedule, runs
+// are byte-identical for a fixed (seed, chaos-seed, workers) triple, and
+// the fault set at probability p is a strict subset of the set at p' > p
+// (the nesting the monotonicity properties in prop_test.go rely on).
+//
+// Injected faults are never silent: each one lands in a chaos.* counter
+// and, at the drop site, in a chaos_-prefixed funnel drop reason, so
+// REPORT.md and runsdiff reconcile under chaos exactly as they do clean.
+// All chaos metrics are registered lazily by New — a run with chaos off
+// carries no trace of this package in its manifest.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"offnetrisk/internal/obs"
+	"offnetrisk/internal/rngutil"
+)
+
+// RetryPolicy bounds the retry loop for transient per-item faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first;
+	// values <= 0 mean 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. Backoff burns wall clock only —
+	// results are merged by index, never by completion order.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) sanitized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	return p
+}
+
+// Backoff returns the sleep before retry number retry (0-based).
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < retry && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Profile is one named fault mix. All probabilities are per-item; zero
+// disables that fault kind.
+type Profile struct {
+	Name string
+
+	// Ping campaign (internal/mlab).
+	BlackoutProb   float64 // whole offnet target goes dark for the campaign
+	ProbeLossExtra float64 // additional per-probe loss on top of Config.ProbeLoss
+	StragglerProb  float64 // per-(target,site) path inflates by StragglerMs
+	StragglerMs    float64
+
+	// Traceroute survey (internal/tracert).
+	TruncateProb  float64 // per-trace early termination
+	HopSilentProb float64 // per-interface forced '*' lines
+	HopNoiseProb  float64 // per-interface response from unmapped address space
+
+	// TLS-scan classification (internal/offnetmap).
+	CertFailProb   float64 // cert fetch fails, record unusable
+	CertMangleProb float64 // cert arrives malformed, record unusable
+
+	// Transient per-item errors under par workers, retried per Retry.
+	TransientProb float64
+	Retry         RetryPolicy
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	return p.BlackoutProb > 0 || p.ProbeLossExtra > 0 || p.StragglerProb > 0 ||
+		p.TruncateProb > 0 || p.HopSilentProb > 0 || p.HopNoiseProb > 0 ||
+		p.CertFailProb > 0 || p.CertMangleProb > 0 || p.TransientProb > 0
+}
+
+// DefaultRetry is the retry policy of the named profiles: up to 3 attempts
+// with a 50µs→500µs exponential backoff (kept tiny so chaos runs stay
+// test-sized; the policy shape, not the absolute sleeps, is what the
+// degradation semantics depend on).
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 500 * time.Microsecond}
+}
+
+// ParseProfile resolves a -chaos flag value to a profile. "off" (or the
+// empty string) disables injection.
+func ParseProfile(name string) (Profile, error) {
+	switch name {
+	case "", "off", "none":
+		return Profile{Name: "off"}, nil
+	case "light":
+		return Profile{
+			Name:           "light",
+			BlackoutProb:   0.02,
+			ProbeLossExtra: 0.05,
+			StragglerProb:  0.05,
+			StragglerMs:    15,
+			TruncateProb:   0.05,
+			HopSilentProb:  0.05,
+			HopNoiseProb:   0.02,
+			CertFailProb:   0.05,
+			CertMangleProb: 0.02,
+			TransientProb:  0.05,
+			Retry:          DefaultRetry(),
+		}, nil
+	case "heavy":
+		return Profile{
+			Name:           "heavy",
+			BlackoutProb:   0.20,
+			ProbeLossExtra: 0.20,
+			StragglerProb:  0.20,
+			StragglerMs:    40,
+			TruncateProb:   0.20,
+			HopSilentProb:  0.20,
+			HopNoiseProb:   0.05,
+			CertFailProb:   0.20,
+			CertMangleProb: 0.05,
+			TransientProb:  0.20,
+			Retry:          DefaultRetry(),
+		}, nil
+	}
+	return Profile{}, fmt.Errorf("chaos: unknown profile %q (want off, light or heavy)", name)
+}
+
+// Stage labels for Attempts/TransientLost: one substream per retryable
+// stage, so a ping item and a traceroute with colliding numeric labels
+// still draw independent fault streams.
+var (
+	StagePing  = rngutil.Label("mlab.ping")
+	StageTrace = rngutil.Label("tracert.trace")
+)
+
+// Fault-kind labels. Private: callers pick faults through the typed
+// decision methods, never raw labels.
+var (
+	lblChaos      = rngutil.Label("chaos")
+	lblBlackout   = rngutil.Label("mlab.blackout")
+	lblProbeLoss  = rngutil.Label("mlab.probe_loss")
+	lblStraggler  = rngutil.Label("mlab.straggler")
+	lblTruncate   = rngutil.Label("tracert.truncate")
+	lblTruncateAt = rngutil.Label("tracert.truncate_at")
+	lblHopSilent  = rngutil.Label("tracert.hop_silent")
+	lblHopNoise   = rngutil.Label("tracert.hop_noise")
+	lblCertFail   = rngutil.Label("scan.cert_fail")
+	lblCertMangle = rngutil.Label("scan.cert_mangle")
+	lblTransient  = rngutil.Label("transient")
+)
+
+// Injector decides and accounts injected faults. A nil *Injector is the
+// chaos-off state: every decision method returns "no fault" and nothing is
+// registered in the metrics registry — callers thread it unconditionally.
+//
+// Decision methods are pure (same labels, same answer, no state) so tests
+// and audits can replay any decision; accounting happens at the call sites
+// through the exported counters, except the retry engine (Attempts), which
+// owns chaos.retries_total / chaos.transients_total itself.
+type Injector struct {
+	prof Profile
+	seed int64
+
+	// Fault counters, registered by New only — so chaos-off manifests are
+	// byte-identical to a build without this package.
+	Blackouts       *obs.Counter
+	ProbesLost      *obs.Counter
+	Stragglers      *obs.Counter
+	HopsSilenced    *obs.Counter
+	HopsNoised      *obs.Counter
+	TracesTruncated *obs.Counter
+	CertsFailed     *obs.Counter
+	CertsMangled    *obs.Counter
+	Retries         *obs.Counter
+	Transients      *obs.Counter
+}
+
+// New builds an injector for the profile, seeded independently of the world
+// seed. It returns nil — the disabled injector — when the profile injects
+// nothing.
+func New(prof Profile, seed int64) *Injector {
+	if !prof.Enabled() {
+		return nil
+	}
+	return &Injector{
+		prof: prof,
+		seed: seed,
+		Blackouts: obs.NewCounter("chaos.blackouts_total",
+			"offnet targets blacked out for the whole campaign by fault injection"),
+		ProbesLost: obs.NewCounter("chaos.probes_lost_total",
+			"individual ping probes dropped by fault injection"),
+		Stragglers: obs.NewCounter("chaos.stragglers_total",
+			"(target,site) paths inflated by the straggler fault"),
+		HopsSilenced: obs.NewCounter("chaos.hops_silenced_total",
+			"traceroute hops forced to '*' by fault injection"),
+		HopsNoised: obs.NewCounter("chaos.hops_noised_total",
+			"traceroute hops answered from unmapped address space by fault injection"),
+		TracesTruncated: obs.NewCounter("chaos.traces_truncated_total",
+			"traceroutes cut short by fault injection"),
+		CertsFailed: obs.NewCounter("chaos.certs_failed_total",
+			"scan records whose certificate fetch was failed by fault injection"),
+		CertsMangled: obs.NewCounter("chaos.certs_mangled_total",
+			"scan records whose certificate was mangled by fault injection"),
+		Retries: obs.NewCounter("chaos.retries_total",
+			"retry attempts consumed by injected transient faults"),
+		Transients: obs.NewCounter("chaos.transients_total",
+			"items lost to injected transient faults after exhausting retries"),
+	}
+}
+
+// Enabled reports whether the injector injects faults (false for nil).
+func (in *Injector) Enabled() bool { return in != nil }
+
+// ProfileName returns the profile name ("off" for nil).
+func (in *Injector) ProfileName() string {
+	if in == nil {
+		return "off"
+	}
+	return in.prof.Name
+}
+
+// Seed returns the chaos seed (0 for nil).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Profile returns the active profile (the zero profile for nil).
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{Name: "off"}
+	}
+	return in.prof
+}
+
+// roll is the single uniform draw behind every decision: a pure hash of
+// (chaos seed, fault kind, item labels) in [0,1). Fixed arity keeps the
+// per-probe hot path free of variadic slice allocation.
+func (in *Injector) roll(kind, a, b, c int64) float64 {
+	f := rngutil.NewFast(uint64(rngutil.Derive(in.seed, lblChaos, kind, a, b, c)))
+	return f.Float64()
+}
+
+// TargetBlackout reports whether the offnet target is dark for the whole
+// campaign.
+func (in *Injector) TargetBlackout(addr int64) bool {
+	return in != nil && in.prof.BlackoutProb > 0 &&
+		in.roll(lblBlackout, addr, 0, 0) < in.prof.BlackoutProb
+}
+
+// ProbeLost reports whether one ping probe of a (target, site) pair is
+// dropped on top of the natural loss model.
+func (in *Injector) ProbeLost(addr, site, probe int64) bool {
+	return in != nil && in.prof.ProbeLossExtra > 0 &&
+		in.roll(lblProbeLoss, addr, site, probe) < in.prof.ProbeLossExtra
+}
+
+// Straggler returns the extra milliseconds the (target, site) path carries,
+// with ok=false when the path is unaffected.
+func (in *Injector) Straggler(addr, site int64) (ms float64, ok bool) {
+	if in == nil || in.prof.StragglerProb <= 0 ||
+		in.roll(lblStraggler, addr, site, 0) >= in.prof.StragglerProb {
+		return 0, false
+	}
+	// 0.5×–1.5× the profile magnitude, itself a pure hash.
+	return in.prof.StragglerMs * (0.5 + in.roll(lblStraggler, addr, site, 1)), true
+}
+
+// TruncateAt returns the hop count to keep for a trace of n hops, with
+// ok=false when the trace survives intact. Kept counts are in [1, n-1].
+func (in *Injector) TruncateAt(vm, target int64, n int) (int, bool) {
+	if in == nil || in.prof.TruncateProb <= 0 || n <= 1 ||
+		in.roll(lblTruncate, vm, target, 0) >= in.prof.TruncateProb {
+		return 0, false
+	}
+	return 1 + int(in.roll(lblTruncateAt, vm, target, 0)*float64(n-1)), true
+}
+
+// HopSilenced reports whether a (naturally responsive) router interface is
+// forced silent — stable per address, like the natural silent fraction.
+func (in *Injector) HopSilenced(addr int64) bool {
+	return in != nil && in.prof.HopSilentProb > 0 &&
+		in.roll(lblHopSilent, addr, 0, 0) < in.prof.HopSilentProb
+}
+
+// HopNoised reports whether a router interface answers from an address the
+// IP-to-AS mapping cannot resolve (the unmapped-hop noise of §4.2.1).
+func (in *Injector) HopNoised(addr int64) bool {
+	return in != nil && in.prof.HopNoiseProb > 0 &&
+		in.roll(lblHopNoise, addr, 0, 0) < in.prof.HopNoiseProb
+}
+
+// NoiseLow8 returns the stable low byte for the hop's replacement address
+// inside the caller's unrouted noise prefix.
+func (in *Injector) NoiseLow8(addr int64) uint8 {
+	if in == nil {
+		return 0
+	}
+	return uint8(in.roll(lblHopNoise, addr, 1, 0) * 256)
+}
+
+// CertFetchFailed reports whether the scan record's certificate fetch
+// failed. Keyed by address only, so every classification pass over the same
+// scan agrees.
+func (in *Injector) CertFetchFailed(addr int64) bool {
+	return in != nil && in.prof.CertFailProb > 0 &&
+		in.roll(lblCertFail, addr, 0, 0) < in.prof.CertFailProb
+}
+
+// CertMangled reports whether the record's certificate arrived malformed.
+func (in *Injector) CertMangled(addr int64) bool {
+	return in != nil && in.prof.CertMangleProb > 0 &&
+		in.roll(lblCertMangle, addr, 0, 0) < in.prof.CertMangleProb
+}
+
+// Attempts runs the transient-fault retry loop for one item of a stage
+// BEFORE the caller does the real work: each attempt independently fails
+// with TransientProb; the first surviving attempt returns ok=true and the
+// caller then runs the operation exactly once. This is what keeps funnel
+// accounting single-count under retry — the item enters its stage funnel
+// once regardless of attempts, while the attempts themselves land in
+// chaos.retries_total (and exhaustion in chaos.transients_total, after
+// which the caller drops the item with a chaos_transient funnel reason).
+//
+// retries is the number of re-attempts performed (0 on first-try success).
+// Backoff sleeps between attempts per the profile's policy; sleeping cannot
+// perturb results because merges are index-addressed.
+func (in *Injector) Attempts(stage, a, b int64) (retries int, ok bool) {
+	if in == nil || in.prof.TransientProb <= 0 {
+		return 0, true
+	}
+	pol := in.prof.Retry.sanitized()
+	for att := 0; att < pol.MaxAttempts; att++ {
+		if in.roll(lblTransient, stage, mix2(a, b), int64(att)) >= in.prof.TransientProb {
+			return att, true
+		}
+		if att == pol.MaxAttempts-1 {
+			break
+		}
+		in.Retries.Inc()
+		if d := pol.Backoff(att); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	in.Transients.Inc()
+	return pol.MaxAttempts - 1, false
+}
+
+// TransientLost replays the Attempts decision without touching any counter
+// or sleeping: true when the item would exhaust its retries. Used by the
+// property suite to audit what the pipeline should have dropped.
+func (in *Injector) TransientLost(stage, a, b int64) bool {
+	if in == nil || in.prof.TransientProb <= 0 {
+		return false
+	}
+	pol := in.prof.Retry.sanitized()
+	for att := 0; att < pol.MaxAttempts; att++ {
+		if in.roll(lblTransient, stage, mix2(a, b), int64(att)) >= in.prof.TransientProb {
+			return false
+		}
+	}
+	return true
+}
+
+// mix2 folds two item labels into one so Attempts keeps the fixed-arity
+// roll while distinguishing (a, b) from (b, a).
+func mix2(a, b int64) int64 {
+	return rngutil.Derive(a, b)
+}

@@ -1,0 +1,309 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"offnetrisk/internal/obs"
+)
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range []string{"", "off", "none"} {
+		p, err := ParseProfile(name)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", name, err)
+		}
+		if p.Name != "off" || p.Enabled() {
+			t.Fatalf("ParseProfile(%q) = %+v, want disabled 'off'", name, p)
+		}
+		if New(p, 7) != nil {
+			t.Fatalf("New(off) must return the nil injector")
+		}
+	}
+	for _, name := range []string{"light", "heavy"} {
+		p, err := ParseProfile(name)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", name, err)
+		}
+		if p.Name != name || !p.Enabled() {
+			t.Fatalf("ParseProfile(%q) = %+v, want enabled profile", name, p)
+		}
+		if p.Retry.MaxAttempts < 2 {
+			t.Fatalf("%s profile has no retries: %+v", name, p.Retry)
+		}
+	}
+	light, _ := ParseProfile("light")
+	heavy, _ := ParseProfile("heavy")
+	if !(light.BlackoutProb < heavy.BlackoutProb && light.TransientProb < heavy.TransientProb) {
+		t.Fatalf("heavy must dominate light: light=%+v heavy=%+v", light, heavy)
+	}
+	if _, err := ParseProfile("cataclysmic"); err == nil {
+		t.Fatal("unknown profile must be rejected")
+	} else if !strings.Contains(err.Error(), "cataclysmic") {
+		t.Fatalf("error should name the bad profile: %v", err)
+	}
+}
+
+// TestNilInjectorSafe pins the chaos-off contract: every decision method on
+// the nil injector reports "no fault" without touching the registry.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Enabled() || in.ProfileName() != "off" || in.Seed() != 0 || in.Profile().Enabled() {
+		t.Fatalf("nil injector leaks state: enabled=%v name=%q", in.Enabled(), in.ProfileName())
+	}
+	if in.TargetBlackout(1) || in.ProbeLost(1, 2, 3) || in.HopSilenced(1) ||
+		in.HopNoised(1) || in.CertFetchFailed(1) || in.CertMangled(1) {
+		t.Fatal("nil injector injected a fault")
+	}
+	if ms, ok := in.Straggler(1, 2); ok || ms != 0 {
+		t.Fatal("nil injector injected a straggler")
+	}
+	if cut, ok := in.TruncateAt(1, 2, 30); ok || cut != 0 {
+		t.Fatal("nil injector truncated a trace")
+	}
+	if retries, ok := in.Attempts(StagePing, 1, 2); retries != 0 || !ok {
+		t.Fatal("nil injector failed an attempt")
+	}
+	if in.TransientLost(StagePing, 1, 2) {
+		t.Fatal("nil injector lost an item")
+	}
+	if in.NoiseLow8(1) != 0 {
+		t.Fatal("nil injector produced a noise byte")
+	}
+}
+
+// TestDecisionsDeterministic: decisions are pure functions of
+// (seed, fault kind, labels) — two injectors with equal identity agree on
+// every item, and replays never change an answer.
+func TestDecisionsDeterministic(t *testing.T) {
+	prof, _ := ParseProfile("heavy")
+	a := New(prof, 7)
+	b := New(prof, 7)
+	other := New(prof, 8)
+	differs := false
+	for addr := int64(0); addr < 2000; addr++ {
+		if a.TargetBlackout(addr) != b.TargetBlackout(addr) ||
+			a.ProbeLost(addr, 3, 5) != b.ProbeLost(addr, 3, 5) ||
+			a.HopSilenced(addr) != b.HopSilenced(addr) ||
+			a.CertFetchFailed(addr) != b.CertFetchFailed(addr) {
+			t.Fatalf("equal injectors disagree at addr %d", addr)
+		}
+		if a.TargetBlackout(addr) != a.TargetBlackout(addr) {
+			t.Fatalf("replay changed the answer at addr %d", addr)
+		}
+		ams, aok := a.Straggler(addr, 9)
+		bms, bok := b.Straggler(addr, 9)
+		if ams != bms || aok != bok {
+			t.Fatalf("straggler magnitudes disagree at addr %d", addr)
+		}
+		if a.TargetBlackout(addr) != other.TargetBlackout(addr) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different chaos seeds produced identical blackout sets")
+	}
+}
+
+// TestFaultNesting: the fault set at probability p is a subset of the set at
+// p' > p — the property the ISP-gate monotonicity suite builds on. Holds
+// because every decision compares one shared pure roll against p.
+func TestFaultNesting(t *testing.T) {
+	probs := []float64{0.01, 0.05, 0.2, 0.5, 0.9}
+	injs := make([]*Injector, len(probs))
+	for i, p := range probs {
+		injs[i] = New(Profile{
+			Name: "nest", BlackoutProb: p, ProbeLossExtra: p, StragglerProb: p,
+			StragglerMs: 10, TruncateProb: p, HopSilentProb: p, HopNoiseProb: p,
+			CertFailProb: p, CertMangleProb: p, TransientProb: p,
+			Retry: RetryPolicy{MaxAttempts: 3},
+		}, 42)
+	}
+	for addr := int64(0); addr < 3000; addr++ {
+		for i := 1; i < len(injs); i++ {
+			lo, hi := injs[i-1], injs[i]
+			if lo.TargetBlackout(addr) && !hi.TargetBlackout(addr) {
+				t.Fatalf("blackout set not nested at addr %d: p=%v faults, p=%v does not", addr, probs[i-1], probs[i])
+			}
+			if lo.ProbeLost(addr, 1, 2) && !hi.ProbeLost(addr, 1, 2) {
+				t.Fatalf("probe-loss set not nested at addr %d", addr)
+			}
+			if lo.HopSilenced(addr) && !hi.HopSilenced(addr) {
+				t.Fatalf("hop-silence set not nested at addr %d", addr)
+			}
+			if lo.CertFetchFailed(addr) && !hi.CertFetchFailed(addr) {
+				t.Fatalf("cert-fail set not nested at addr %d", addr)
+			}
+			if lo.TransientLost(StagePing, addr, 0) && !hi.TransientLost(StagePing, addr, 0) {
+				t.Fatalf("transient-loss set not nested at addr %d", addr)
+			}
+			if _, ok := lo.Straggler(addr, 1); ok {
+				if _, ok := hi.Straggler(addr, 1); !ok {
+					t.Fatalf("straggler set not nested at addr %d", addr)
+				}
+			}
+		}
+	}
+}
+
+// TestAttemptsAccounting pins the single-count retry semantics: the Retries
+// counter equals the sum of retries the callers observed, exhaustion lands
+// in Transients exactly once per lost item, and TransientLost replays the
+// verdict without side effects.
+func TestAttemptsAccounting(t *testing.T) {
+	obs.Default.Reset()
+	in := New(Profile{
+		Name: "retry", TransientProb: 0.5,
+		Retry: RetryPolicy{MaxAttempts: 3}, // zero backoff: no sleeping in tests
+	}, 11)
+
+	const items = 4000
+	var wantRetries, wantLost int64
+	for i := int64(0); i < items; i++ {
+		retries, ok := in.Attempts(StagePing, i, 0)
+		wantRetries += int64(retries)
+		if !ok {
+			wantLost++
+			if retries != 2 {
+				t.Fatalf("exhausted item %d reported %d retries, want MaxAttempts-1 = 2", i, retries)
+			}
+		}
+		if in.TransientLost(StagePing, i, 0) == ok {
+			t.Fatalf("TransientLost disagrees with Attempts at item %d", i)
+		}
+	}
+	if got := in.Retries.Value(); got != wantRetries {
+		t.Fatalf("chaos.retries_total = %d, callers observed %d", got, wantRetries)
+	}
+	if got := in.Transients.Value(); got != wantLost {
+		t.Fatalf("chaos.transients_total = %d, callers lost %d", got, wantLost)
+	}
+	if wantLost == 0 || wantLost == items {
+		t.Fatalf("degenerate transient outcome: lost %d of %d", wantLost, items)
+	}
+	// Expected loss rate is p^MaxAttempts = 0.125; allow a wide band.
+	rate := float64(wantLost) / items
+	if rate < 0.05 || rate > 0.25 {
+		t.Fatalf("loss rate %.3f implausible for p=0.5, 3 attempts", rate)
+	}
+
+	// The pure replay must not move the counters.
+	r, tr := in.Retries.Value(), in.Transients.Value()
+	for i := int64(0); i < items; i++ {
+		in.TransientLost(StagePing, i, 0)
+	}
+	if in.Retries.Value() != r || in.Transients.Value() != tr {
+		t.Fatal("TransientLost touched the retry counters")
+	}
+
+	// Distinct stages draw distinct streams.
+	same := true
+	for i := int64(0); i < 256 && same; i++ {
+		same = in.TransientLost(StagePing, i, 0) == in.TransientLost(StageTrace, i, 0)
+	}
+	if same {
+		t.Fatal("ping and trace stages share a transient stream")
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 300 * time.Microsecond}
+	want := []time.Duration{50 * time.Microsecond, 100 * time.Microsecond, 200 * time.Microsecond, 300 * time.Microsecond, 300 * time.Microsecond}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	zero := RetryPolicy{MaxAttempts: 3}
+	if zero.Backoff(0) != 0 || zero.Backoff(4) != 0 {
+		t.Fatal("zero policy must not sleep")
+	}
+	if s := (RetryPolicy{}).sanitized(); s.MaxAttempts != 1 {
+		t.Fatalf("sanitized zero policy = %+v, want 1 attempt", s)
+	}
+}
+
+func TestTruncateAtBounds(t *testing.T) {
+	in := New(Profile{Name: "trunc", TruncateProb: 1}, 3)
+	for n := 2; n < 40; n++ {
+		for vm := int64(0); vm < 50; vm++ {
+			cut, ok := in.TruncateAt(vm, 1000+vm, n)
+			if !ok {
+				t.Fatalf("TruncateProb=1 must always truncate (n=%d)", n)
+			}
+			if cut < 1 || cut >= n {
+				t.Fatalf("TruncateAt(vm=%d, n=%d) = %d, want in [1, %d]", vm, n, cut, n-1)
+			}
+		}
+	}
+	if _, ok := in.TruncateAt(0, 0, 1); ok {
+		t.Fatal("single-hop traces cannot be truncated")
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if got := th.For("ping.filter"); got != DefaultThreshold {
+		t.Fatalf("For(ping.filter) = %v, want default %v", got, DefaultThreshold)
+	}
+	if got := th.For("ping.isp_gate"); got != 0.50 {
+		t.Fatalf("For(ping.isp_gate) = %v, want the documented 0.50", got)
+	}
+	if got := (Thresholds{}).For("anything"); got != DefaultThreshold {
+		t.Fatalf("zero thresholds must fall back to the default, got %v", got)
+	}
+}
+
+func TestChaosDropFractionAndDegradedStages(t *testing.T) {
+	snaps := []obs.FunnelSnapshot{
+		{Name: "clean.stage", In: 100, Out: 90, Drops: []obs.FunnelDrop{{Reason: "unresponsive", N: 10}}},
+		{Name: "hit.stage", In: 100, Out: 70, Drops: []obs.FunnelDrop{
+			{Reason: "chaos_blackout", N: 20}, {Reason: "unresponsive", N: 10}}},
+		{Name: "grazed.stage", In: 100, Out: 95, Drops: []obs.FunnelDrop{{Reason: "chaos_transient", N: 5}}},
+		{Name: "empty.stage"},
+	}
+	if f := ChaosDropFraction(snaps[0]); f != 0 {
+		t.Fatalf("natural drops counted as chaos: %v", f)
+	}
+	if f := ChaosDropFraction(snaps[1]); f != 0.20 {
+		t.Fatalf("ChaosDropFraction = %v, want 0.20", f)
+	}
+	if f := ChaosDropFraction(snaps[3]); f != 0 {
+		t.Fatalf("empty funnel must have zero fraction, got %v", f)
+	}
+	got := DegradedStages(snaps, DefaultThresholds())
+	if len(got) != 1 || got[0] != "hit.stage" {
+		t.Fatalf("DegradedStages = %v, want [hit.stage]", got)
+	}
+	// A run with no chaos_* reasons can never be degraded, whatever it drops.
+	if d := DegradedStages(snaps[:1], DefaultThresholds()); len(d) != 0 {
+		t.Fatalf("clean snapshots degraded: %v", d)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	m := &obs.Manifest{Funnels: []obs.FunnelSnapshot{
+		{Name: "ping.filter", In: 10, Out: 5, Drops: []obs.FunnelDrop{{Reason: "chaos_blackout", N: 5}}},
+	}}
+	Annotate(m, nil, DefaultThresholds())
+	if m.ChaosProfile != "" || m.Degraded || m.DegradedStages != nil {
+		t.Fatalf("nil injector annotated the manifest: %+v", m)
+	}
+	prof, _ := ParseProfile("light")
+	Annotate(m, New(prof, 77), DefaultThresholds())
+	if m.ChaosProfile != "light" || m.ChaosSeed != 77 {
+		t.Fatalf("identity not stamped: %+v", m)
+	}
+	if !m.Degraded || len(m.DegradedStages) != 1 || m.DegradedStages[0] != "ping.filter" {
+		t.Fatalf("degradation verdict wrong: degraded=%v stages=%v", m.Degraded, m.DegradedStages)
+	}
+
+	calm := &obs.Manifest{Funnels: []obs.FunnelSnapshot{
+		{Name: "ping.filter", In: 1000, Out: 995, Drops: []obs.FunnelDrop{{Reason: "chaos_blackout", N: 5}}},
+	}}
+	Annotate(calm, New(prof, 77), DefaultThresholds())
+	if calm.Degraded || len(calm.DegradedStages) != 0 {
+		t.Fatalf("sub-threshold run marked degraded: %+v", calm)
+	}
+}

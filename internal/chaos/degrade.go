@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"sort"
+	"strings"
+
+	"offnetrisk/internal/obs"
+)
+
+// Degradation semantics: a stage that loses more than a configurable
+// fraction of its inputs to injected faults marks the run *degraded* in the
+// manifest instead of failing it. Degradation is computed from the funnel
+// snapshots alone — the same accounting REPORT.md prints and runsdiff
+// compares — by summing the chaos_-prefixed drop reasons per funnel. A
+// clean run can therefore never be degraded: without an injector no
+// chaos_* reason is ever registered.
+
+// ChaosReasonPrefix marks funnel drop reasons attributable to injected
+// faults.
+const ChaosReasonPrefix = "chaos_"
+
+// DefaultThreshold is the chaos-drop fraction above which a stage counts as
+// degraded when Thresholds.PerStage has no entry for it.
+const DefaultThreshold = 0.10
+
+// Thresholds is the per-stage degradation threshold table.
+type Thresholds struct {
+	// Default applies to any funnel not listed in PerStage; <= 0 means
+	// DefaultThreshold.
+	Default  float64
+	PerStage map[string]float64
+}
+
+// DefaultThresholds is the table DESIGN.md §9 documents: 10% everywhere,
+// except the ISP gate, where a single blacked-out offnet already disquali-
+// fies its whole ISP, so the same target-level fault rate produces a much
+// larger ISP-level drop fraction.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Default: DefaultThreshold,
+		PerStage: map[string]float64{
+			"ping.isp_gate": 0.50,
+		},
+	}
+}
+
+// For returns the threshold for a funnel name.
+func (t Thresholds) For(stage string) float64 {
+	if v, ok := t.PerStage[stage]; ok {
+		return v
+	}
+	if t.Default > 0 {
+		return t.Default
+	}
+	return DefaultThreshold
+}
+
+// ChaosDropFraction returns the fraction of a funnel's inputs dropped for
+// chaos_-prefixed reasons; 0 when the funnel saw no items.
+func ChaosDropFraction(s obs.FunnelSnapshot) float64 {
+	if s.In == 0 {
+		return 0
+	}
+	var n int64
+	for _, d := range s.Drops {
+		if strings.HasPrefix(d.Reason, ChaosReasonPrefix) {
+			n += d.N
+		}
+	}
+	return float64(n) / float64(s.In)
+}
+
+// DegradedStages returns, sorted by name, the funnels whose chaos-drop
+// fraction exceeds their threshold.
+func DegradedStages(snaps []obs.FunnelSnapshot, t Thresholds) []string {
+	var out []string
+	for _, s := range snaps {
+		if ChaosDropFraction(s) > t.For(s.Name) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotate stamps a manifest with the injector's identity and the
+// degradation verdict computed from the manifest's own funnel snapshots.
+// No-op for a nil injector, so clean manifests stay byte-identical.
+func Annotate(m *obs.Manifest, in *Injector, t Thresholds) {
+	if in == nil {
+		return
+	}
+	m.ChaosProfile = in.ProfileName()
+	m.ChaosSeed = in.Seed()
+	m.DegradedStages = DegradedStages(m.Funnels, t)
+	m.Degraded = len(m.DegradedStages) > 0
+}

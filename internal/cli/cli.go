@@ -1,6 +1,7 @@
 // Package cli holds the flag surface shared by every command in cmd/: one
-// registration point so -seed, -tiny, -large, -v, -workers, -debug-addr and
-// -events are spelled, defaulted and documented identically everywhere,
+// registration point so -seed, -tiny, -large, -v, -workers, -debug-addr,
+// -events, -chaos and -chaos-seed are spelled, defaulted and documented
+// identically everywhere,
 // plus the common startup plumbing (logger, SIGINT-cancelled context, debug
 // endpoints and event streams wired to that context).
 package cli
@@ -15,6 +16,7 @@ import (
 	"syscall"
 
 	"offnetrisk"
+	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
 )
@@ -28,6 +30,8 @@ type Common struct {
 	Workers   int
 	DebugAddr string
 	Events    string
+	Chaos     string
+	ChaosSeed int64
 }
 
 // Register installs the shared flags on fs. Call before the command's own
@@ -41,6 +45,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Workers, "workers", 0, "parallel workers for experiment stages (0 = GOMAXPROCS)")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.Events, "events", "", "stream span start/end and funnel snapshots as JSONL to this file")
+	fs.StringVar(&c.Chaos, "chaos", "off", "fault-injection profile: off, light or heavy")
+	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 7, "seed for the fault-injection streams (independent of -seed)")
 	return c
 }
 
@@ -74,11 +80,27 @@ func (c *Common) Logger(cmd string) *slog.Logger {
 	return obs.SetupCLI(cmd, c.Verbose)
 }
 
-// Pipeline builds the pipeline for the selected seed, scale and workers.
-func (c *Common) Pipeline() *offnetrisk.Pipeline {
+// Injector resolves -chaos/-chaos-seed to a fault injector (nil when off);
+// the error reports an unknown profile name.
+func (c *Common) Injector() (*chaos.Injector, error) {
+	prof, err := chaos.ParseProfile(c.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	return chaos.New(prof, c.ChaosSeed), nil
+}
+
+// Pipeline builds the pipeline for the selected seed, scale, workers and
+// chaos profile. The error reports an invalid -chaos value.
+func (c *Common) Pipeline() (*offnetrisk.Pipeline, error) {
+	inj, err := c.Injector()
+	if err != nil {
+		return nil, err
+	}
 	p := offnetrisk.NewPipeline(c.Seed, c.Scale())
 	p.Workers = c.Workers
-	return p
+	p.Chaos = inj
+	return p, nil
 }
 
 // Context returns a context cancelled by SIGINT/SIGTERM, so ^C aborts

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
@@ -114,6 +115,11 @@ type Config struct {
 	// (site, target) probe stream is derived independently, never advanced
 	// across targets.
 	Workers int
+	// Chaos injects deterministic faults (target blackouts, extra probe
+	// loss, stragglers, transient errors); nil runs clean. Fault decisions
+	// are pure per-item hashes on streams separate from the probe noise, so
+	// unaffected targets measure byte-identically to a clean run.
+	Chaos *chaos.Injector
 }
 
 // DefaultConfig mirrors Appendix A with 163 sites assumed.
@@ -158,6 +164,12 @@ type Campaign struct {
 	GatedISPs     int
 	MeasuredISPs  int
 	TotalMeasured int
+	// Chaos accounting: targets lost to injected blackouts/transients and
+	// ISPs gated because one of their offnets was chaos-lost (an ISP whose
+	// target set is incomplete cannot be clustered against full vectors).
+	// Zero on clean runs.
+	ChaosLost      int
+	ChaosGatedISPs int
 }
 
 // Measure runs the campaign against every offnet server in the deployment.
@@ -210,12 +222,25 @@ func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site,
 		m            *Measurement
 		unresponsive bool
 		impossible   bool
+		blackout     bool
+		transient    bool
 	}
 	outcomes, err := par.MapLocal(ctx, len(d.Servers), opts, newProbeScratch, func(_ context.Context, i int, sc *probeScratch) (outcome, error) {
 		s := d.Servers[i]
 		if !s.Responsive {
 			mUnresponsive.Inc()
 			return outcome{unresponsive: true}, nil
+		}
+		// Injected faults replace the measurement, never run alongside it: a
+		// blacked-out or transiently-failed target is measured zero times, a
+		// retried target exactly once — so the filter funnel counts every
+		// target once no matter how many attempts it took (the retry
+		// attempts themselves land in chaos.retries_total inside Attempts).
+		if cfg.Chaos.TargetBlackout(int64(s.Addr)) {
+			return outcome{blackout: true}, nil
+		}
+		if _, ok := cfg.Chaos.Attempts(chaos.StagePing, int64(s.Addr), 0); !ok {
+			return outcome{transient: true}, nil
 		}
 		m := measureServer(w, s, sites, cfg, baseCache[s.Facility], sc)
 		if violatesSpeedOfLight(m.RTTms, sites) {
@@ -236,14 +261,31 @@ func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site,
 
 	// Serial merge in deployment order — identical to the old single-loop
 	// accounting. The filter funnel is fed here, not in the parallel tasks,
-	// so its snapshot is deterministic at any worker count.
+	// so its snapshot is deterministic at any worker count. Chaos drop
+	// reasons are bound lazily so clean snapshots carry no chaos_* rows.
+	var cBlackout, cTransient, cGateLost *obs.Counter
+	if cfg.Chaos.Enabled() {
+		cBlackout = fFilter.Reason("chaos_blackout")
+		cTransient = fFilter.Reason("chaos_transient")
+		cGateLost = fISPGate.Reason("chaos_lost_offnets")
+	}
 	fFilter.In(int64(len(outcomes)))
 	perISP := make(map[inet.ASN][]*Measurement)
+	lost := make(map[inet.ASN]int)
 	for i, o := range outcomes {
 		switch {
 		case o.unresponsive:
 			c.Unresponsive++
 			fFilterUnresponsive.Inc()
+		case o.blackout:
+			c.ChaosLost++
+			lost[d.Servers[i].ISP]++
+			cBlackout.Inc()
+			cfg.Chaos.Blackouts.Inc()
+		case o.transient:
+			c.ChaosLost++
+			lost[d.Servers[i].ISP]++
+			cTransient.Inc()
 		case o.impossible:
 			c.Impossible++
 			fFilterSOL.Inc()
@@ -255,8 +297,18 @@ func MeasureContext(ctx context.Context, d *hypergiant.Deployment, sites []Site,
 	}
 
 	// Per-ISP gate: count sites with successful measurements to all offnets.
+	// An ISP that chaos-lost any offnet is gated first: its surviving
+	// vectors describe an incomplete target set, and — because blackout and
+	// transient fault sets are nested across profiles while survivors'
+	// streams are untouched — this rule makes the usable-ISP set shrink
+	// monotonically with the fault rate (prop_test.go asserts it).
 	fISPGate.In(int64(len(perISP)))
 	for as, ms := range perISP {
+		if lost[as] > 0 {
+			c.ChaosGatedISPs++
+			cGateLost.Inc()
+			continue
+		}
 		var good []int
 		for si := range sites {
 			ok := true
@@ -349,6 +401,12 @@ func measureServer(w *inet.World, s *hypergiant.Server, sites []Site, cfg Config
 		} else {
 			floor += base[si]
 		}
+		// Chaos straggler: the whole (target, site) path inflates. Drawn
+		// from the injector's own stream, so unaffected paths are untouched.
+		if ms, ok := cfg.Chaos.Straggler(int64(s.Addr), int64(si)); ok {
+			floor += ms
+			cfg.Chaos.Stragglers.Inc()
+		}
 
 		got := sc.got[:0]
 		for p := 0; p < cfg.Probes; p++ {
@@ -360,6 +418,13 @@ func measureServer(w *inet.World, s *hypergiant.Server, sites []Site, cfg Config
 			// below typical inter-facility route-offset gaps (~2 ms), the
 			// separation the validated clustering technique relies on.
 			jitter := -0.8 * math.Log(1-r.Float64())
+			// Chaos probe loss is checked after the jitter draw so the
+			// natural stream advances exactly as in a clean run: dropping
+			// probe p never changes probe p+1's RTT.
+			if cfg.Chaos.ProbeLost(int64(s.Addr), int64(si), int64(p)) {
+				cfg.Chaos.ProbesLost.Inc()
+				continue
+			}
 			got = append(got, floor+0.1+jitter)
 		}
 		if len(got) < 2 {

@@ -83,6 +83,18 @@ func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
 	if a.Scale != b.Scale {
 		r.driftf("scale: %q vs %q", a.Scale, b.Scale)
 	}
+	if a.ChaosProfile != b.ChaosProfile {
+		r.driftf("chaos profile: %q vs %q", a.ChaosProfile, b.ChaosProfile)
+	}
+	if a.ChaosSeed != b.ChaosSeed {
+		r.driftf("chaos seed: %d vs %d", a.ChaosSeed, b.ChaosSeed)
+	}
+	if a.Degraded != b.Degraded {
+		r.driftf("degraded: %v vs %v", a.Degraded, b.Degraded)
+	}
+	if !equalStrings(a.DegradedStages, b.DegradedStages) {
+		r.driftf("degraded stages: %v vs %v", a.DegradedStages, b.DegradedStages)
+	}
 	if a.GoVersion != b.GoVersion {
 		r.infof("go version: %s vs %s", a.GoVersion, b.GoVersion)
 	}
@@ -215,6 +227,18 @@ func compareStages(a, b []SpanSnapshot, opts DiffOptions, r *DiffResult) {
 				a[i].Name, a[i].DurMS, b[i].DurMS, opts.MaxWallRegress)
 		}
 	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // relDiff returns |a-b| / max(|a|, |b|), 0 when both are 0.

@@ -167,3 +167,40 @@ func TestCompareManifestsUnbalancedFunnelWarns(t *testing.T) {
 		t.Fatalf("unbalanced funnel not warned: %v", r.Warnings)
 	}
 }
+
+func TestCompareManifestsChaosDrift(t *testing.T) {
+	// Same chaos identity on both sides: no drift.
+	a, b := testManifest(), testManifest()
+	a.ChaosProfile, a.ChaosSeed, a.Degraded = "heavy", 7, true
+	a.DegradedStages = []string{"ping.filter"}
+	b.ChaosProfile, b.ChaosSeed, b.Degraded = "heavy", 7, true
+	b.DegradedStages = []string{"ping.filter"}
+	if r := CompareManifests(a, b, DiffOptions{}); r.HasDrift() {
+		t.Fatalf("equal chaos manifests drifted: %v", r.Drift)
+	}
+
+	// Each chaos field must independently surface as drift.
+	mut := []func(m *Manifest){
+		func(m *Manifest) { m.ChaosProfile = "light" },
+		func(m *Manifest) { m.ChaosSeed = 8 },
+		func(m *Manifest) { m.Degraded = false },
+		func(m *Manifest) { m.DegradedStages = []string{"ping.filter", "tracert.hops"} },
+	}
+	want := []string{"chaos profile", "chaos seed", "degraded:", "degraded stages"}
+	for i, f := range mut {
+		c := testManifest()
+		c.ChaosProfile, c.ChaosSeed, c.Degraded = "heavy", 7, true
+		c.DegradedStages = []string{"ping.filter"}
+		f(c)
+		r := CompareManifests(a, c, DiffOptions{})
+		if !r.HasDrift() || !hasEntry(r.Drift, want[i]) {
+			t.Fatalf("mutation %d: no %q drift in %v", i, want[i], r.Drift)
+		}
+	}
+
+	// Chaos vs clean: profile and degraded flag both drift.
+	r := CompareManifests(a, testManifest(), DiffOptions{})
+	if !hasEntry(r.Drift, "chaos profile") || !hasEntry(r.Drift, "degraded") {
+		t.Fatalf("chaos-vs-clean comparison missed drift: %v", r.Drift)
+	}
+}

@@ -29,6 +29,14 @@ type Manifest struct {
 	// many items entered, were kept, and were dropped for which reason.
 	// Deterministic at any worker count.
 	Funnels []FunnelSnapshot `json:"funnels,omitempty"`
+	// Chaos provenance (internal/chaos): which fault profile and chaos seed
+	// the run injected, and whether any stage lost more than its degradation
+	// threshold to injected faults. All omitted on clean runs, so chaos-off
+	// manifests are byte-identical to pre-chaos ones.
+	ChaosProfile   string   `json:"chaos_profile,omitempty"`
+	ChaosSeed      int64    `json:"chaos_seed,omitempty"`
+	Degraded       bool     `json:"degraded,omitempty"`
+	DegradedStages []string `json:"degraded_stages,omitempty"`
 }
 
 // BuildManifest assembles a manifest from a finished (or in-flight) tracer

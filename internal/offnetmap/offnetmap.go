@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"offnetrisk/internal/cert"
+	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/netaddr"
 	"offnetrisk/internal/obs"
@@ -197,7 +198,21 @@ func (res *Result) AddrsOf(hg traffic.HG) []netaddr.Addr {
 // that AS. Unrouted addresses are skipped (the real pipeline requires an
 // IP-to-AS mapping hit).
 func Infer(w *inet.World, records []scan.Record, rules []Rule) *Result {
+	return InferChaos(w, records, rules, nil)
+}
+
+// InferChaos is Infer with fault injection: records whose certificate fetch
+// fails or arrives mangled are dropped before classification, accounted as
+// chaos_fetch_failed / chaos_malformed in the classify funnel. Faults are
+// keyed by address only, so every classification pass over the same scan
+// (both rule epochs and the stale-rule ablation) loses the same records.
+func InferChaos(w *inet.World, records []scan.Record, rules []Rule, inj *chaos.Injector) *Result {
 	mCertsClassified.Add(int64(len(records)))
+	var cFetchFail, cMangled *obs.Counter
+	if inj.Enabled() {
+		cFetchFail = fClassify.Reason("chaos_fetch_failed")
+		cMangled = fClassify.Reason("chaos_malformed")
+	}
 	res := &Result{ISPs: make(map[traffic.HG]map[inet.ASN]bool)}
 	for _, rule := range rules {
 		if res.ISPs[rule.HG] == nil {
@@ -206,6 +221,16 @@ func Infer(w *inet.World, records []scan.Record, rules []Rule) *Result {
 	}
 	fClassify.In(int64(len(records)))
 	for _, rec := range records {
+		if inj.CertFetchFailed(int64(rec.Addr)) {
+			cFetchFail.Inc()
+			inj.CertsFailed.Inc()
+			continue
+		}
+		if inj.CertMangled(int64(rec.Addr)) {
+			cMangled.Inc()
+			inj.CertsMangled.Inc()
+			continue
+		}
 		as, ok := w.OwnerOf(rec.Addr)
 		if !ok {
 			fClassifyUnrouted.Inc()

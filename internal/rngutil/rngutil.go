@@ -36,6 +36,18 @@ func Derive(seed int64, labels ...int64) int64 {
 	return int64(h)
 }
 
+// Label folds a string into a Derive label (FNV-1a), so substreams can be
+// named after what they perturb ("chaos", "mlab.blackout") instead of
+// numbered by convention. Stable across processes and platforms.
+func Label(s string) int64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
 // Zipf draws n samples from a Zipf-like distribution over ranks 1..n with
 // exponent s, normalized so the samples sum to total. This is the shape of
 // per-ISP Internet user populations (a few eyeball giants, a long tail),

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"offnetrisk/internal/bgp"
+	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/netaddr"
@@ -44,6 +45,10 @@ var (
 type Hop struct {
 	Addr      netaddr.Addr
 	Responded bool
+	// Chaos marks hops perturbed by fault injection (forced silent, or
+	// answered from unmapped noise space), so the hop funnel can attribute
+	// their drops to chaos_* reasons instead of the natural ones.
+	Chaos bool
 }
 
 // Trace is one traceroute: the probing VM, the target, and the hops.
@@ -70,6 +75,11 @@ type Config struct {
 	// means GOMAXPROCS. Hop responsiveness is a pure per-address hash, so
 	// traces are identical at any worker count.
 	Workers int
+	// Chaos injects deterministic faults (trace truncation, forced-silent
+	// hops, unmapped-address noise, transient trace failures); nil runs
+	// clean. All decisions are pure per-item hashes, so the survey stays
+	// byte-identical at any worker count.
+	Chaos *chaos.Injector
 }
 
 // DefaultConfig mirrors the paper's scale knobs.
@@ -134,30 +144,83 @@ func SurveyContext(ctx context.Context, d *hypergiant.Deployment, hg traffic.HG,
 			isps = append(isps, isp)
 		}
 	}
+	// Per-ISP task result: the traces plus the chaos attempt accounting,
+	// merged serially below so the traces funnel is fed in ascending-ASN
+	// order regardless of worker schedule.
+	type ispTraces struct {
+		list                       []Trace
+		attempted, lost, truncated int64
+	}
 	traces, err := par.Map(ctx, len(isps), par.Options{Workers: cfg.Workers, Name: "traceroutes"},
-		func(_ context.Context, i int) ([]Trace, error) {
+		func(_ context.Context, i int) (ispTraces, error) {
 			isp := isps[i]
 			path := graph.PathsTo(isp.ASN).Path(hgAS)
 			targets := targetsOf(isp, cfg.TargetsPerISP)
-			list := make([]Trace, 0, cfg.VMs*len(targets))
+			res := ispTraces{list: make([]Trace, 0, cfg.VMs*len(targets))}
 			for vm := 0; vm < cfg.VMs; vm++ {
 				for _, target := range targets {
+					res.attempted++
+					// A transiently-failed trace is retried per the chaos
+					// policy and, if exhausted, never issued — so it counts
+					// once as attempted, never in traces_run (attempts land
+					// in chaos.retries_total inside Attempts).
+					if _, ok := cfg.Chaos.Attempts(chaos.StageTrace, int64(vm), int64(target)); !ok {
+						res.lost++
+						continue
+					}
 					tr := trace(w, hgISP, path, vm, target, pni[isp.ASN], ixp[isp.ASN], cfg)
+					if cut, ok := cfg.Chaos.TruncateAt(int64(vm), int64(target), len(tr.Hops)); ok {
+						tr.Hops = tr.Hops[:cut]
+						res.truncated++
+					}
 					mTracesRun.Inc()
 					mHopsPerTrace.Observe(float64(len(tr.Hops)))
-					list = append(list, tr)
+					res.list = append(res.list, tr)
 				}
 			}
-			return list, nil
+			return res, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[inet.ASN][]Trace, len(isps))
-	for i, list := range traces {
-		if len(list) > 0 {
-			out[isps[i].ASN] = list
+	var attempted, lost, truncated int64
+	for i, res := range traces {
+		if len(res.list) > 0 {
+			out[isps[i].ASN] = res.list
 		}
+		attempted += res.attempted
+		lost += res.lost
+		truncated += res.truncated
+	}
+	if cfg.Chaos.Enabled() {
+		// Registered only under chaos, so clean manifests are unchanged.
+		f := obs.NewFunnel("tracert.traces",
+			"traceroutes attempted vs. issued under fault injection")
+		f.In(attempted)
+		f.Out(attempted - lost)
+		f.Reason("chaos_transient").Add(lost)
+		cfg.Chaos.TracesTruncated.Add(truncated)
+		// Hop perturbations are counted over the kept hops only, so the
+		// counters equal the chaos_silent / chaos_unmapped funnel reasons
+		// inference will report — truncated-away hops never count.
+		var silenced, noised int64
+		for _, trs := range out {
+			for _, tr := range trs {
+				for _, h := range tr.Hops {
+					if !h.Chaos {
+						continue
+					}
+					if h.Responded {
+						noised++
+					} else {
+						silenced++
+					}
+				}
+			}
+		}
+		cfg.Chaos.HopsSilenced.Add(silenced)
+		cfg.Chaos.HopsNoised.Add(noised)
 	}
 	return out, nil
 }
@@ -183,7 +246,23 @@ func targetsOf(isp *inet.ISP, n int) []netaddr.Addr {
 func trace(w *inet.World, hgISP *inet.ISP, path []inet.ASN, vm int, target netaddr.Addr, hasPNI bool, ixps []inet.IXPID, cfg Config) Trace {
 	var hops []Hop
 	add := func(a netaddr.Addr) {
-		hops = append(hops, Hop{Addr: a, Responded: responds(a, cfg)})
+		h := Hop{Addr: a, Responded: responds(a, cfg)}
+		// Chaos perturbs naturally responsive interfaces only (a silent
+		// router cannot get noisier), stable per address like the natural
+		// silent fraction: noise makes the interface answer from unrouted
+		// space the IP-to-AS mapping cannot resolve; silence forces a '*'.
+		// Counted in the survey's serial merge, not here: truncation may
+		// discard a perturbed tail hop, and the counters must reconcile
+		// with the hops that actually reach inference.
+		if h.Responded {
+			switch {
+			case cfg.Chaos.HopNoised(int64(a)):
+				h = Hop{Addr: noiseAddr(cfg.Chaos, a), Responded: true, Chaos: true}
+			case cfg.Chaos.HopSilenced(int64(a)):
+				h = Hop{Addr: a, Responded: false, Chaos: true}
+			}
+		}
+		hops = append(hops, h)
 	}
 
 	// Intra-cloud hops: addresses in the hypergiant's own space, varying by
@@ -236,6 +315,16 @@ func borderAddr(isp *inet.ISP, role int) netaddr.Addr {
 		return 0
 	}
 	return isp.Prefixes[0].First() + netaddr.Addr(240+role)
+}
+
+// noiseAddr maps a perturbed hop into 203.0.113.0/24 (TEST-NET-3), which no
+// synthetic network ever announces — the world allocates ISPs from
+// 16.0.0.0/4, content from 8.0.0.0/9 and IXP fabrics from 198.32.0.0/13 —
+// so the hop is guaranteed unmappable, like a real probe answered from
+// unallocated or internal space.
+func noiseAddr(in *chaos.Injector, a netaddr.Addr) netaddr.Addr {
+	const testNet3 netaddr.Addr = 203<<24 | 0<<16 | 113<<8
+	return testNet3 | netaddr.Addr(in.NoiseLow8(int64(a)))
 }
 
 // responds is the stable per-interface traceroute responsiveness: a hash of
@@ -301,14 +390,20 @@ func Infer(w *inet.World, hg traffic.HG, contentAS inet.ASN, traces map[inet.ASN
 // accountHops feeds the tracert.hops funnel and the hops_mapped counter for
 // one trace, batched into single atomic adds per trace.
 func accountHops(w *inet.World, tr Trace) {
-	var unresp, unmapped, mapped int64
+	var unresp, unmapped, mapped, chaosSilent, chaosNoise int64
 	for _, h := range tr.Hops {
 		switch {
 		case !h.Responded:
-			unresp++
+			if h.Chaos {
+				chaosSilent++
+			} else {
+				unresp++
+			}
 		default:
 			if _, _, ok := mapHop(w, h); ok {
 				mapped++
+			} else if h.Chaos {
+				chaosNoise++
 			} else {
 				unmapped++
 			}
@@ -318,6 +413,14 @@ func accountHops(w *inet.World, tr Trace) {
 	fHops.Out(mapped)
 	fHopsUnresponsive.Add(unresp)
 	fHopsUnmapped.Add(unmapped)
+	// Chaos reasons are bound lazily — only traces carrying perturbed hops
+	// register them, so clean snapshots have no chaos_* rows.
+	if chaosSilent > 0 {
+		fHops.Reason("chaos_silent").Add(chaosSilent)
+	}
+	if chaosNoise > 0 {
+		fHops.Reason("chaos_unmapped").Add(chaosNoise)
+	}
 	mHopsMapped.Add(mapped)
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
@@ -56,6 +57,15 @@ type Pipeline struct {
 	// so results are bit-for-bit identical at any worker count — Workers
 	// trades wall-clock time only, never output.
 	Workers int
+
+	// Chaos optionally injects deterministic, seed-derived faults into
+	// every measurement stage (ping campaign, traceroute survey, TLS-scan
+	// classification); nil — the default — runs clean. Fault decisions are
+	// pure hashes of (chaos seed, item), so a fixed (Seed, chaos seed,
+	// Workers) triple reproduces byte-identically at any worker count, and
+	// every injected fault is visible as a chaos.* counter or a chaos_*
+	// funnel drop reason. See internal/chaos.
+	Chaos *chaos.Injector
 
 	// tracer records per-stage spans when instrumentation is attached via
 	// Instrument; nil (the default) disables tracing at zero cost. Tracing

@@ -76,6 +76,7 @@ func (p *Pipeline) PeeringSurveyForContext(ctx context.Context, hg traffic.HG) (
 	}
 	cfg := tracert.DefaultConfig(p.Seed)
 	cfg.Workers = p.Workers
+	cfg.Chaos = p.Chaos
 	if p.Scale == ScaleTiny {
 		cfg.VMs = 24
 	}

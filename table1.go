@@ -76,9 +76,9 @@ func (p *Pipeline) Table1Context(ctx context.Context) (*Table1Result, error) {
 	sp.SetAttr("records_2023", len(recs23))
 	sp.End()
 	sp = p.span("table1/offnet-inference")
-	res21 := offnetmap.Infer(w21, recs21, offnetmap.Rules2021())
-	res23 := offnetmap.Infer(w23, recs23, offnetmap.Rules2023())
-	stale := offnetmap.Infer(w23, recs23, offnetmap.Rules2021())
+	res21 := offnetmap.InferChaos(w21, recs21, offnetmap.Rules2021(), p.Chaos)
+	res23 := offnetmap.InferChaos(w23, recs23, offnetmap.Rules2023(), p.Chaos)
+	stale := offnetmap.InferChaos(w23, recs23, offnetmap.Rules2021(), p.Chaos)
 	sp.SetAttr("offnets_2023", len(res23.Offnets))
 	sp.End()
 
