@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare check report runs-diff golden fuzz-smoke check-chaos golden-chaos
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos
 
 build:
 	$(GO) build ./...
@@ -42,9 +42,25 @@ bench-compare:
 	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json records" >&2; exit 1; fi; \
 	$(GO) run ./cmd/benchcompare $$2 $$1
 
+# Perf-trajectory gate: the newest BENCH_*.json record must keep the pinned
+# kernel benchmarks (PairDistance, OpticsRun) within 1.3x of their best
+# historical ns/op. Records order by the date in their filenames, so the gate
+# is identical on every checkout.
+perf-gate:
+	$(GO) run ./cmd/benchcompare -gate BENCH_*.json
+
+# Execution-timeline profile of a tiny run: Perfetto trace + critical-path /
+# worker-utilization analysis printed to stdout.
+profile:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/profile-out \
+		-manifest /tmp/profile-out/manifest.json -trace /tmp/profile-out/trace.json
+	$(GO) run ./cmd/obsprofile -validate-trace /tmp/profile-out/trace.json /tmp/profile-out/manifest.json
+	@echo "trace: /tmp/profile-out/trace.json (load in ui.perfetto.dev)"
+
 # race-obs runs first so concurrency regressions in the observability and
-# parallel substrates fail fast, before the full race suite.
-check: build vet race-obs race
+# parallel substrates fail fast, before the full race suite; perf-gate is
+# pure file analysis and runs last.
+check: build vet race-obs race perf-gate
 
 # Full reproduction report with provenance manifest.
 report:

@@ -15,8 +15,10 @@ import (
 
 // chaosState runs the chaos-sensitive experiments at one worker count and
 // serializes everything the run manifest would carry: the rendered results,
-// the funnel accounting, and the degradation verdict.
-func chaosState(t *testing.T, workers int) []byte {
+// the funnel accounting, and the degradation verdict. With timeline set, the
+// run additionally records fault instants (the -trace path) — which must not
+// change a byte of the serialized state.
+func chaosState(t *testing.T, workers int, timeline bool) []byte {
 	t.Helper()
 	obs.Default.Reset()
 	p := NewPipeline(42, ScaleTiny)
@@ -26,6 +28,11 @@ func chaosState(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	p.Chaos = chaos.New(prof, 7)
+	if timeline {
+		tr := obs.NewTracer()
+		tr.EnableTimeline()
+		p.Instrument(tr)
+	}
 
 	coloc, err := p.Colocation()
 	if err != nil {
@@ -66,10 +73,17 @@ func chaosState(t *testing.T, workers int) []byte {
 // experiment rendering, every funnel, and the degradation verdict must be
 // byte-identical at any worker count.
 func TestChaosWorkerDeterminism(t *testing.T) {
-	ref := chaosState(t, 1)
+	ref := chaosState(t, 1, false)
 	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		if got := chaosState(t, workers); !bytes.Equal(ref, got) {
+		if got := chaosState(t, workers, false); !bytes.Equal(ref, got) {
 			t.Fatalf("chaos pipeline state diverged between workers=1 and workers=%d", workers)
+		}
+	}
+	// Fault-instant recording (-trace under -chaos) is a pure side channel:
+	// same bytes with the timeline live.
+	for _, workers := range []int{1, 4} {
+		if got := chaosState(t, workers, true); !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d with timeline recording diverged from the plain chaos run", workers)
 		}
 	}
 }

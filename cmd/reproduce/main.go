@@ -290,6 +290,20 @@ func main() {
 		return nil
 	})
 
+	// Timeline analysis of the run itself: critical path, exclusive
+	// self-times, worker utilization. Wall-clock numbers, so the section —
+	// like the manifest's profile block — varies run to run and is excluded
+	// from determinism comparisons; the experiment sections above are not.
+	run("performance-profile", func() error {
+		stages := tr.Snapshot(start)
+		if len(stages) == 0 {
+			return nil
+		}
+		prof := obs.BuildProfile(stages, 10)
+		fmt.Fprintf(&md, "\n## Performance profile\n\n%s", prof.Markdown())
+		return nil
+	})
+
 	run("report", func() error {
 		return writeFile("REPORT.md", md.String())
 	})

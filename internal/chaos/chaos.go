@@ -22,6 +22,7 @@ package chaos
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"offnetrisk/internal/obs"
@@ -171,12 +172,20 @@ var (
 // registered in the metrics registry — callers thread it unconditionally.
 //
 // Decision methods are pure (same labels, same answer, no state) so tests
-// and audits can replay any decision; accounting happens at the call sites
+// and audits can replay any decision; the only side effect is an optional
+// timeline instant per injected fault, which never feeds back into a
+// decision. Accounting happens at the call sites
 // through the exported counters, except the retry engine (Attempts), which
 // owns chaos.retries_total / chaos.transients_total itself.
 type Injector struct {
 	prof Profile
 	seed int64
+
+	// timeline, when attached (Pipeline.Instrument) and enabled on the
+	// tracer (-trace), receives one instant event per injected fault, so
+	// the Perfetto export shows exactly when each fault landed. Recording
+	// is observability-only: decisions stay pure hashes either way.
+	timeline atomic.Pointer[obs.Tracer]
 
 	// Fault counters, registered by New only — so chaos-off manifests are
 	// byte-identical to a build without this package.
@@ -225,6 +234,27 @@ func New(prof Profile, seed int64) *Injector {
 	}
 }
 
+// SetTimeline attaches (or, with nil, detaches) the tracer whose timeline
+// receives chaos-fault instant events. Safe on a nil injector; instants are
+// recorded only while the tracer's timeline is enabled (the -trace flag).
+func (in *Injector) SetTimeline(tr *obs.Tracer) {
+	if in != nil {
+		in.timeline.Store(tr)
+	}
+}
+
+// timelineOn returns the attached tracer when instant recording is live,
+// nil otherwise. The disabled path — one atomic load plus one bool load —
+// is what per-probe decision methods pay; attribute maps are only built
+// after a non-nil return.
+func (in *Injector) timelineOn() *obs.Tracer {
+	tr := in.timeline.Load()
+	if !tr.TimelineEnabled() {
+		return nil
+	}
+	return tr
+}
+
 // Enabled reports whether the injector injects faults (false for nil).
 func (in *Injector) Enabled() bool { return in != nil }
 
@@ -263,15 +293,27 @@ func (in *Injector) roll(kind, a, b, c int64) float64 {
 // TargetBlackout reports whether the offnet target is dark for the whole
 // campaign.
 func (in *Injector) TargetBlackout(addr int64) bool {
-	return in != nil && in.prof.BlackoutProb > 0 &&
-		in.roll(lblBlackout, addr, 0, 0) < in.prof.BlackoutProb
+	if in == nil || in.prof.BlackoutProb <= 0 ||
+		in.roll(lblBlackout, addr, 0, 0) >= in.prof.BlackoutProb {
+		return false
+	}
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.blackout", map[string]any{"target": addr})
+	}
+	return true
 }
 
 // ProbeLost reports whether one ping probe of a (target, site) pair is
 // dropped on top of the natural loss model.
 func (in *Injector) ProbeLost(addr, site, probe int64) bool {
-	return in != nil && in.prof.ProbeLossExtra > 0 &&
-		in.roll(lblProbeLoss, addr, site, probe) < in.prof.ProbeLossExtra
+	if in == nil || in.prof.ProbeLossExtra <= 0 ||
+		in.roll(lblProbeLoss, addr, site, probe) >= in.prof.ProbeLossExtra {
+		return false
+	}
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.probe_lost", map[string]any{"target": addr, "site": site, "probe": probe})
+	}
+	return true
 }
 
 // Straggler returns the extra milliseconds the (target, site) path carries,
@@ -282,7 +324,11 @@ func (in *Injector) Straggler(addr, site int64) (ms float64, ok bool) {
 		return 0, false
 	}
 	// 0.5×–1.5× the profile magnitude, itself a pure hash.
-	return in.prof.StragglerMs * (0.5 + in.roll(lblStraggler, addr, site, 1)), true
+	extra := in.prof.StragglerMs * (0.5 + in.roll(lblStraggler, addr, site, 1))
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.straggler", map[string]any{"target": addr, "site": site, "extra_ms": extra})
+	}
+	return extra, true
 }
 
 // TruncateAt returns the hop count to keep for a trace of n hops, with
@@ -292,21 +338,37 @@ func (in *Injector) TruncateAt(vm, target int64, n int) (int, bool) {
 		in.roll(lblTruncate, vm, target, 0) >= in.prof.TruncateProb {
 		return 0, false
 	}
-	return 1 + int(in.roll(lblTruncateAt, vm, target, 0)*float64(n-1)), true
+	keep := 1 + int(in.roll(lblTruncateAt, vm, target, 0)*float64(n-1))
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.truncate", map[string]any{"vm": vm, "target": target, "keep": keep})
+	}
+	return keep, true
 }
 
 // HopSilenced reports whether a (naturally responsive) router interface is
 // forced silent — stable per address, like the natural silent fraction.
 func (in *Injector) HopSilenced(addr int64) bool {
-	return in != nil && in.prof.HopSilentProb > 0 &&
-		in.roll(lblHopSilent, addr, 0, 0) < in.prof.HopSilentProb
+	if in == nil || in.prof.HopSilentProb <= 0 ||
+		in.roll(lblHopSilent, addr, 0, 0) >= in.prof.HopSilentProb {
+		return false
+	}
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.hop_silent", map[string]any{"addr": addr})
+	}
+	return true
 }
 
 // HopNoised reports whether a router interface answers from an address the
 // IP-to-AS mapping cannot resolve (the unmapped-hop noise of §4.2.1).
 func (in *Injector) HopNoised(addr int64) bool {
-	return in != nil && in.prof.HopNoiseProb > 0 &&
-		in.roll(lblHopNoise, addr, 0, 0) < in.prof.HopNoiseProb
+	if in == nil || in.prof.HopNoiseProb <= 0 ||
+		in.roll(lblHopNoise, addr, 0, 0) >= in.prof.HopNoiseProb {
+		return false
+	}
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.hop_noise", map[string]any{"addr": addr})
+	}
+	return true
 }
 
 // NoiseLow8 returns the stable low byte for the hop's replacement address
@@ -322,14 +384,26 @@ func (in *Injector) NoiseLow8(addr int64) uint8 {
 // failed. Keyed by address only, so every classification pass over the same
 // scan agrees.
 func (in *Injector) CertFetchFailed(addr int64) bool {
-	return in != nil && in.prof.CertFailProb > 0 &&
-		in.roll(lblCertFail, addr, 0, 0) < in.prof.CertFailProb
+	if in == nil || in.prof.CertFailProb <= 0 ||
+		in.roll(lblCertFail, addr, 0, 0) >= in.prof.CertFailProb {
+		return false
+	}
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.cert_fail", map[string]any{"addr": addr})
+	}
+	return true
 }
 
 // CertMangled reports whether the record's certificate arrived malformed.
 func (in *Injector) CertMangled(addr int64) bool {
-	return in != nil && in.prof.CertMangleProb > 0 &&
-		in.roll(lblCertMangle, addr, 0, 0) < in.prof.CertMangleProb
+	if in == nil || in.prof.CertMangleProb <= 0 ||
+		in.roll(lblCertMangle, addr, 0, 0) >= in.prof.CertMangleProb {
+		return false
+	}
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.cert_mangle", map[string]any{"addr": addr})
+	}
+	return true
 }
 
 // Attempts runs the transient-fault retry loop for one item of a stage
@@ -357,11 +431,17 @@ func (in *Injector) Attempts(stage, a, b int64) (retries int, ok bool) {
 			break
 		}
 		in.Retries.Inc()
+		if tr := in.timelineOn(); tr != nil {
+			tr.Instant("chaos.retry", map[string]any{"stage": stage, "item": mix2(a, b), "attempt": att})
+		}
 		if d := pol.Backoff(att); d > 0 {
 			time.Sleep(d)
 		}
 	}
 	in.Transients.Inc()
+	if tr := in.timelineOn(); tr != nil {
+		tr.Instant("chaos.transient", map[string]any{"stage": stage, "item": mix2(a, b)})
+	}
 	return pol.MaxAttempts - 1, false
 }
 

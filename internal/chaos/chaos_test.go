@@ -307,3 +307,108 @@ func TestAnnotate(t *testing.T) {
 		t.Fatalf("sub-threshold run marked degraded: %+v", calm)
 	}
 }
+
+// TestTimelineInstantsObservabilityOnly: attaching a timeline records one
+// instant per injected fault without changing a single decision — recording
+// is a pure side channel of the same pure-hash rolls.
+func TestTimelineInstantsObservabilityOnly(t *testing.T) {
+	prof, _ := ParseProfile("heavy")
+	plain := New(prof, 7)
+	traced := New(prof, 7)
+	tr := obs.NewTracer()
+	tr.EnableTimeline()
+	traced.SetTimeline(tr)
+
+	faults := 0
+	for addr := int64(0); addr < 400; addr++ {
+		a, b := plain.TargetBlackout(addr), traced.TargetBlackout(addr)
+		if a != b {
+			t.Fatalf("TargetBlackout(%d) diverged with timeline attached: %v vs %v", addr, a, b)
+		}
+		if b {
+			faults++
+		}
+		if p, q := plain.HopSilenced(addr), traced.HopSilenced(addr); p != q {
+			t.Fatalf("HopSilenced(%d) diverged: %v vs %v", addr, p, q)
+		}
+		mp, okp := plain.Straggler(addr, 3)
+		mq, okq := traced.Straggler(addr, 3)
+		if okp != okq || mp != mq {
+			t.Fatalf("Straggler(%d) diverged: (%g,%v) vs (%g,%v)", addr, mp, okp, mq, okq)
+		}
+	}
+	if faults == 0 {
+		t.Fatal("heavy profile injected no blackouts over 400 targets")
+	}
+
+	instants := tr.Instants()
+	blackouts := 0
+	for _, in := range instants {
+		if in.Name == "chaos.blackout" {
+			blackouts++
+		}
+	}
+	if blackouts != faults {
+		t.Fatalf("recorded %d chaos.blackout instants for %d injected blackouts", blackouts, faults)
+	}
+
+	// Detached or disabled timelines record nothing.
+	traced.SetTimeline(nil)
+	if traced.TargetBlackout(0) != plain.TargetBlackout(0) {
+		t.Fatal("detaching the timeline changed a decision")
+	}
+	cold := obs.NewTracer() // EnableTimeline never called
+	traced.SetTimeline(cold)
+	for addr := int64(0); addr < 50; addr++ {
+		traced.TargetBlackout(addr)
+	}
+	if len(cold.Instants()) != 0 {
+		t.Fatal("disabled timeline recorded instants")
+	}
+
+	// TransientLost is the pure replay audit: it must never record instants
+	// even on a live timeline.
+	traced.SetTimeline(tr)
+	before := len(tr.Instants())
+	for i := int64(0); i < 200; i++ {
+		traced.TransientLost(StagePing, i, 0)
+	}
+	if got := len(tr.Instants()); got != before {
+		t.Fatalf("TransientLost recorded %d instants", got-before)
+	}
+}
+
+// TestAttemptsTimelineInstants: the retry engine lands chaos.retry per
+// consumed retry and chaos.transient per exhaustion on the timeline, matching
+// its own counters exactly.
+func TestAttemptsTimelineInstants(t *testing.T) {
+	prof, _ := ParseProfile("heavy")
+	prof.Retry.BaseBackoff = 0 // no sleeping in tests
+	in := New(prof, 7)
+	tr := obs.NewTracer()
+	tr.EnableTimeline()
+	in.SetTimeline(tr)
+
+	r0, t0 := in.Retries.Value(), in.Transients.Value()
+	for i := int64(0); i < 3000; i++ {
+		in.Attempts(StagePing, i, 0)
+	}
+	retries, transients := 0, 0
+	for _, ev := range tr.Instants() {
+		switch ev.Name {
+		case "chaos.retry":
+			retries++
+		case "chaos.transient":
+			transients++
+		}
+	}
+	if int64(retries) != in.Retries.Value()-r0 {
+		t.Fatalf("chaos.retry instants %d != retries counter delta %d", retries, in.Retries.Value()-r0)
+	}
+	if int64(transients) != in.Transients.Value()-t0 {
+		t.Fatalf("chaos.transient instants %d != transients counter delta %d", transients, in.Transients.Value()-t0)
+	}
+	if transients == 0 {
+		t.Fatal("heavy profile exhausted no retries over 3000 items")
+	}
+}

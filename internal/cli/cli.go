@@ -30,6 +30,7 @@ type Common struct {
 	Workers   int
 	DebugAddr string
 	Events    string
+	Trace     string
 	Chaos     string
 	ChaosSeed int64
 }
@@ -45,6 +46,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Workers, "workers", 0, "parallel workers for experiment stages (0 = GOMAXPROCS)")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.Events, "events", "", "stream span start/end and funnel snapshots as JSONL to this file")
+	fs.StringVar(&c.Trace, "trace", "", "export the execution timeline as Perfetto-loadable trace-event JSON to this file")
 	fs.StringVar(&c.Chaos, "chaos", "off", "fault-injection profile: off, light or heavy")
 	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 7, "seed for the fault-injection streams (independent of -seed)")
 	return c
@@ -128,30 +130,50 @@ func (c *Common) StartDebug(ctx context.Context, tr *obs.Tracer, logger *slog.Lo
 
 // Observability wires the optional observability surfaces in one call: the
 // -debug-addr endpoint (pprof, expvar, Prometheus /metrics, live /debug/obs
-// page) and the -events JSONL stream attached to the tracer. The returned
-// close emits the final funnel snapshots and flushes the stream; it is
-// idempotent, also runs on ctx cancellation (so ^C still leaves a complete
-// stream behind), and must be deferred by the command.
+// page), the -events JSONL stream attached to the tracer, and the -trace
+// timeline recording whose Perfetto export is written at teardown. The
+// returned close emits the final funnel snapshots, flushes the stream, and
+// writes the trace file; it is idempotent, also runs on ctx cancellation (so
+// ^C still leaves a complete stream and trace behind), and must be deferred
+// by the command.
 func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog.Logger) (func(), error) {
 	if err := c.StartDebug(ctx, tr, logger); err != nil {
 		return nil, err
 	}
-	if c.Events == "" {
+	var sink *obs.EventSink
+	if c.Events != "" {
+		s, err := obs.OpenEventSink(c.Events)
+		if err != nil {
+			return nil, err
+		}
+		sink = s
+		tr.SetSink(sink)
+		logger.Info("event stream open", "path", c.Events)
+	}
+	if c.Trace != "" {
+		// Recording must be live before any span or chaos decision runs, so
+		// the export sees the whole run.
+		tr.EnableTimeline()
+	}
+	if sink == nil && c.Trace == "" {
 		return func() {}, nil
 	}
-	sink, err := obs.OpenEventSink(c.Events)
-	if err != nil {
-		return nil, err
-	}
-	tr.SetSink(sink)
-	logger.Info("event stream open", "path", c.Events)
 	var once sync.Once
 	stop := func() {
 		once.Do(func() {
-			tr.SetSink(nil)
-			sink.EmitFunnels(obs.Default)
-			if err := sink.Close(); err != nil {
-				logger.Warn("event stream close failed", "path", c.Events, "err", err)
+			if sink != nil {
+				tr.SetSink(nil)
+				sink.EmitFunnels(obs.Default)
+				if err := sink.Close(); err != nil {
+					logger.Warn("event stream close failed", "path", c.Events, "err", err)
+				}
+			}
+			if c.Trace != "" {
+				if err := obs.WriteTraceFile(c.Trace, tr); err != nil {
+					logger.Warn("trace export failed", "path", c.Trace, "err", err)
+				} else {
+					logger.Info("trace written", "path", c.Trace, "hint", "load in ui.perfetto.dev")
+				}
 			}
 		})
 	}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsPageDeepNesting: the live page renders every level of a deeply
+// nested span tree, indentation growing with depth, so a par worker's
+// sub-spans do not silently vanish from the progress view.
+func TestObsPageDeepNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("l0")
+	l1 := root.Child("l1")
+	l2 := l1.Child("l2")
+	l3 := l2.Child("l3")
+	l4 := l3.Child("l4")
+	l4.End()
+	l3.End()
+	l2.End()
+	l1.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	writeObsPage(rec, tr, time.Now())
+	body := rec.Body.String()
+
+	prevIdx := -1
+	for depth, name := range []string{"l0", "l1", "l2", "l3", "l4"} {
+		indent := strings.Repeat("&nbsp;&nbsp;", depth)
+		row := "<td>" + indent + name + "</td>"
+		idx := strings.Index(body, row)
+		if idx < 0 {
+			t.Fatalf("level %d row %q missing from page:\n%s", depth, row, body)
+		}
+		if idx < prevIdx {
+			t.Fatalf("level %d rendered before its parent", depth)
+		}
+		prevIdx = idx
+	}
+}
+
+// TestObsPageWorkerAttrs: the busy/idle accounting par attaches to worker
+// spans reaches the page — and stays escaped even when an attribute value
+// carries markup (attrs are caller-supplied strings too).
+func TestObsPageWorkerAttrs(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("region")
+	w := root.Child("region/worker-0")
+	w.SetAttr("worker", 0)
+	w.SetAttr("busy_ms", 12.5)
+	w.SetAttr("idle_ms", 0.5)
+	w.SetAttr("queue_wait_ms", 0.1)
+	w.SetAttr("tasks", 9)
+	w.SetAttr("note", `<b onmouseover="x()">hot</b>`)
+	w.End()
+	root.SetAttr("par:region", "workers=1 tasks=9 busy=12.5ms wall=13.0ms eff=96%")
+	root.End()
+
+	rec := httptest.NewRecorder()
+	writeObsPage(rec, tr, time.Now())
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"busy_ms=12.5", "idle_ms=0.5", "queue_wait_ms=0.1", "tasks=9",
+		"par:region=workers=1 tasks=9",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing worker accounting %q", want)
+		}
+	}
+	if strings.Contains(body, "<b onmouseover") {
+		t.Fatalf("unescaped attr markup reached the page:\n%s", body)
+	}
+	if !strings.Contains(body, "note=&lt;b") {
+		t.Fatalf("attr value not rendered escaped:\n%s", body)
+	}
+}

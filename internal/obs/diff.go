@@ -104,6 +104,11 @@ func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
 	if a.WallMS > 0 && b.WallMS > 0 {
 		r.infof("total wall: %.0fms vs %.0fms", a.WallMS, b.WallMS)
 	}
+	// The profile block is pure timing analysis — wall-clock quarantined
+	// like the stage durations it derives from, never drift.
+	if a.Profile != nil && b.Profile != nil {
+		r.infof("critical path: %.0fms vs %.0fms", a.Profile.CriticalPathMS, b.Profile.CriticalPathMS)
+	}
 
 	compareMetrics(a.Metrics, b.Metrics, opts, r)
 	compareFunnels(a.Funnels, b.Funnels, r)

@@ -35,6 +35,13 @@ type Event struct {
 	Funnel *FunnelSnapshot `json:"funnel,omitempty"`
 }
 
+// eventsDropped counts events that could not reach the stream — written
+// after Close (e.g. a span ending during teardown) or unmarshalable. A
+// clean run keeps it at zero; a nonzero value in a manifest says the event
+// stream is incomplete and why the file ends where it does.
+var eventsDropped = NewCounter("obs.events_dropped_total",
+	"events discarded because the sink was already closed or failed to marshal")
+
 // EventSink writes events as JSONL. All methods are safe for concurrent use
 // and safe on a nil receiver, so instrumented code never checks whether a
 // stream was requested.
@@ -82,10 +89,12 @@ func (s *EventSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		eventsDropped.Inc()
 		return
 	}
 	data, err := json.Marshal(e)
 	if err != nil {
+		eventsDropped.Inc()
 		return
 	}
 	s.w.Write(data)

@@ -133,3 +133,55 @@ func TestTracerSinkDetach(t *testing.T) {
 		}
 	}
 }
+
+// droppedTotal reads the obs.events_dropped_total counter.
+func droppedTotal() float64 {
+	return Default.Snapshot()["obs.events_dropped_total"].Value
+}
+
+// TestEmitAfterCloseCounted: an event arriving after Close must not vanish
+// silently — it lands in obs.events_dropped_total, so a manifest says why the
+// stream file ends where it does.
+func TestEmitAfterCloseCounted(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.Emit(Event{Type: "span_start", Span: "before"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := droppedTotal()
+	n := buf.Len()
+	s.Emit(Event{Type: "span_end", Span: "too-late"})
+	if buf.Len() != n {
+		t.Fatal("emit after close wrote to the stream")
+	}
+	if got := droppedTotal() - before; got != 1 {
+		t.Fatalf("events_dropped_total moved by %g, want 1", got)
+	}
+
+	// Nil sinks are the "no stream requested" state, not a failure: emitting
+	// into one counts nothing.
+	before = droppedTotal()
+	var nilSink *EventSink
+	nilSink.Emit(Event{Type: "span_end"})
+	if got := droppedTotal() - before; got != 0 {
+		t.Fatalf("nil-sink emit counted as dropped (%+g)", got)
+	}
+}
+
+// TestEmitUnmarshalableCounted: the marshal-failure path counts too.
+func TestEmitUnmarshalableCounted(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	defer s.Close()
+
+	before := droppedTotal()
+	s.Emit(Event{Type: "span_end", Attrs: map[string]any{"bad": make(chan int)}})
+	if got := droppedTotal() - before; got != 1 {
+		t.Fatalf("events_dropped_total moved by %g, want 1", got)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unmarshalable event wrote %d bytes", buf.Len())
+	}
+}

@@ -29,6 +29,11 @@ type Manifest struct {
 	// many items entered, were kept, and were dropped for which reason.
 	// Deterministic at any worker count.
 	Funnels []FunnelSnapshot `json:"funnels,omitempty"`
+	// Profile is the timeline analysis of Stages (critical path, exclusive
+	// self-times, parallel-region worker utilization). Like stage wall
+	// times it varies run to run and is quarantined from determinism
+	// comparisons (runsdiff reports it as informational only).
+	Profile *Profile `json:"profile,omitempty"`
 	// Chaos provenance (internal/chaos): which fault profile and chaos seed
 	// the run injected, and whether any stage lost more than its degradation
 	// threshold to injected faults. All omitted on clean runs, so chaos-off
@@ -53,6 +58,9 @@ func BuildManifest(tool string, seed int64, scale string, tr *Tracer, start time
 		Stages:    tr.Snapshot(start),
 		Metrics:   Default.Snapshot(),
 		Funnels:   Default.FunnelSnapshots(),
+	}
+	if len(m.Stages) > 0 {
+		m.Profile = BuildProfile(m.Stages, 10)
 	}
 	if !start.IsZero() {
 		m.StartedAt = start.UTC().Format(time.RFC3339)

@@ -33,10 +33,173 @@ type Tracer struct {
 	// sink, when set, receives live span_start/span_end events and funnel
 	// snapshots whenever a root span ends (the -events JSONL stream).
 	sink atomic.Pointer[EventSink]
+
+	// epoch anchors the timeline: instants, marks and the trace export
+	// measure offsets from it.
+	epoch time.Time
+	// timeline, when enabled, records instant events (injected faults) and
+	// counter marks (funnel / chaos counter movement at root-span ends) for
+	// the -trace export. Off by default so hot paths pay one atomic load.
+	timeline atomic.Bool
+	tlMu     sync.Mutex
+	instants []Instant
+	marks    []TimelineMark
+	// instCount / instSuppressed bound the recording: after
+	// maxInstantsPerName events of one name, further ones only count. A
+	// heavy chaos profile fires hundreds of thousands of per-probe faults —
+	// unbounded recording would swell a tiny run's trace past 50MB.
+	instCount      map[string]int
+	instSuppressed map[string]int64
+	// lastFunnels / lastCounters dedupe marks: only moved counters re-mark.
+	lastFunnels  map[string]FunnelSnapshot
+	lastCounters map[string]float64
 }
 
 // NewTracer returns an enabled tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// Epoch returns the tracer's timeline origin (zero for nil tracers).
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// EnableTimeline turns on instant-event and counter-mark recording (the raw
+// material of the -trace export). Recording is observability-only and never
+// feeds back into experiment results. Safe on a nil tracer.
+func (t *Tracer) EnableTimeline() {
+	if t != nil {
+		t.timeline.Store(true)
+	}
+}
+
+// TimelineEnabled reports whether instant recording is on (false for nil).
+func (t *Tracer) TimelineEnabled() bool {
+	return t != nil && t.timeline.Load()
+}
+
+// Instant is one point event on the timeline — an injected chaos fault, a
+// retry exhaustion, any caller-declared moment worth seeing in the trace.
+type Instant struct {
+	Name  string         `json:"name"`
+	AtMS  float64        `json:"at_ms"` // offset from the tracer epoch
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// maxInstantsPerName caps recorded instants per event name; the excess is
+// tallied in InstantsSuppressed and noted in the trace's otherData. The first
+// thousand of each fault kind show the timeline shape; the rest would only
+// bloat the file.
+const maxInstantsPerName = 1000
+
+// Instant records a point event when the timeline is enabled; otherwise it
+// is a no-op (one atomic load). Safe on a nil tracer and from any goroutine.
+func (t *Tracer) Instant(name string, attrs map[string]any) {
+	if !t.TimelineEnabled() {
+		return
+	}
+	at := float64(time.Since(t.epoch)) / float64(time.Millisecond)
+	t.tlMu.Lock()
+	defer t.tlMu.Unlock()
+	if t.instCount == nil {
+		t.instCount = make(map[string]int)
+		t.instSuppressed = make(map[string]int64)
+	}
+	if t.instCount[name] >= maxInstantsPerName {
+		t.instSuppressed[name]++
+		return
+	}
+	t.instCount[name]++
+	t.instants = append(t.instants, Instant{Name: name, AtMS: at, Attrs: attrs})
+}
+
+// Instants copies the recorded instant events.
+func (t *Tracer) Instants() []Instant {
+	if t == nil {
+		return nil
+	}
+	t.tlMu.Lock()
+	defer t.tlMu.Unlock()
+	return append([]Instant(nil), t.instants...)
+}
+
+// InstantsSuppressed reports, per event name, how many instants were counted
+// but not recorded once the per-name cap was reached. Empty when nothing was
+// suppressed.
+func (t *Tracer) InstantsSuppressed() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.tlMu.Lock()
+	defer t.tlMu.Unlock()
+	out := make(map[string]int64, len(t.instSuppressed))
+	for k, v := range t.instSuppressed {
+		out[k] = v
+	}
+	return out
+}
+
+// TimelineMark is one sample of the run's moving counters, taken whenever a
+// root span ends: the funnels whose accounting changed since the previous
+// mark plus the chaos.* counters that moved. The trace export renders marks
+// as Perfetto counter tracks.
+type TimelineMark struct {
+	AtMS     float64            `json:"at_ms"`
+	Funnels  []FunnelSnapshot   `json:"funnels,omitempty"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// Marks copies the recorded counter marks.
+func (t *Tracer) Marks() []TimelineMark {
+	if t == nil {
+		return nil
+	}
+	t.tlMu.Lock()
+	defer t.tlMu.Unlock()
+	return append([]TimelineMark(nil), t.marks...)
+}
+
+// recordMark samples the Default registry's funnels and chaos counters,
+// appending a mark when anything moved since the last one.
+func (t *Tracer) recordMark() {
+	if !t.TimelineEnabled() {
+		return
+	}
+	at := float64(time.Since(t.epoch)) / float64(time.Millisecond)
+	snaps := Default.FunnelSnapshots()
+	metrics := Default.Snapshot()
+	t.tlMu.Lock()
+	defer t.tlMu.Unlock()
+	if t.lastFunnels == nil {
+		t.lastFunnels = make(map[string]FunnelSnapshot)
+		t.lastCounters = make(map[string]float64)
+	}
+	mark := TimelineMark{AtMS: at}
+	for _, snap := range snaps {
+		prev, seen := t.lastFunnels[snap.Name]
+		if !seen || prev.In != snap.In || prev.Out != snap.Out || prev.Dropped() != snap.Dropped() {
+			t.lastFunnels[snap.Name] = snap
+			mark.Funnels = append(mark.Funnels, snap)
+		}
+	}
+	for name, mv := range metrics {
+		if mv.Type != "counter" || !strings.HasPrefix(name, "chaos.") {
+			continue
+		}
+		if prev, seen := t.lastCounters[name]; !seen || prev != mv.Value {
+			t.lastCounters[name] = mv.Value
+			if mark.Counters == nil {
+				mark.Counters = make(map[string]float64)
+			}
+			mark.Counters[name] = mv.Value
+		}
+	}
+	if len(mark.Funnels) > 0 || len(mark.Counters) > 0 {
+		t.marks = append(t.marks, mark)
+	}
+}
 
 // SetSink attaches a live event stream: every Start/Child/End emits a span
 // event, and each root span's End additionally emits the funnel snapshots
@@ -226,6 +389,10 @@ func (s *Span) End() {
 				// accounting it moved.
 				sink.EmitFunnels(Default)
 			}
+		}
+		if s.parent == nil {
+			// Sample the moving counters for the -trace counter tracks.
+			t.recordMark()
 		}
 	}
 }

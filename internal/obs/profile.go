@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline analysis: where a run's wall-clock actually went. BuildProfile
+// consumes a span forest (live from a tracer, or re-read from a manifest's
+// stages) and computes the three quantities DESIGN.md §10 defines:
+//
+//   - the critical path — the chain of spans that bounds the run's wall
+//     time: sequential work adds up, concurrent work contributes only its
+//     longest member;
+//   - per-span exclusive self-time — a span's duration minus the union of
+//     its children's intervals, i.e. the time no child accounts for;
+//   - per-region worker utilization — for every internal/par fan-out, the
+//     fraction of occupied worker-lane time actually spent running tasks
+//     (Σ busy / Σ lane duration), the parallel-efficiency figure.
+//
+// The profile is pure arithmetic over recorded timings: it varies run to
+// run like wall-clock does, and runsdiff treats it as informational, never
+// drift.
+
+// Profile is the machine-readable performance profile attached to run
+// manifests and rendered in REPORT.md.
+type Profile struct {
+	// WallMS is the summed duration of the root stages (they run
+	// sequentially, so this is the experiment wall time the spans observed).
+	WallMS float64 `json:"wall_ms"`
+	// CriticalPathMS is the summed self-time of the steps on the critical
+	// path; it equals the sum of CriticalPath[i].SelfMS exactly.
+	CriticalPathMS float64    `json:"critical_path_ms"`
+	CriticalPath   []PathStep `json:"critical_path,omitempty"`
+	// SelfTimes ranks spans by exclusive self-time, largest first (top N).
+	SelfTimes []SelfTime `json:"self_times,omitempty"`
+	// Regions summarizes every parallel region's worker utilization,
+	// sorted by region name.
+	Regions []RegionStats `json:"regions,omitempty"`
+}
+
+// PathStep is one span on the critical path with its exclusive contribution.
+type PathStep struct {
+	Path   string  `json:"path"`
+	SelfMS float64 `json:"self_ms"`
+}
+
+// SelfTime is one span's exclusive-time ranking entry.
+type SelfTime struct {
+	Path       string  `json:"path"`
+	SelfMS     float64 `json:"self_ms"`
+	TotalMS    float64 `json:"total_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+// RegionStats is one parallel region's aggregated worker accounting. A
+// region is identified by its par.Options.Name; when a stage runs the same
+// region several times (e.g. one distance matrix per ISP), the instances
+// aggregate: LaneMS sums every worker span's duration, BusyMS the time those
+// workers spent inside tasks, and Efficiency is BusyMS/LaneMS.
+type RegionStats struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"` // distinct worker indices seen
+	Tasks      int64   `json:"tasks"`
+	BusyMS     float64 `json:"busy_ms"`
+	LaneMS     float64 `json:"lane_ms"`
+	Efficiency float64 `json:"efficiency"` // BusyMS / LaneMS, in [0,1]
+}
+
+// BuildProfile analyzes a span forest. Roots are treated as sequential (the
+// pipeline contract); concurrency appears only below a root, as overlapping
+// child intervals. topN bounds the self-time ranking (<= 0 means 10).
+func BuildProfile(stages []SpanSnapshot, topN int) *Profile {
+	if topN <= 0 {
+		topN = 10
+	}
+	p := &Profile{}
+	if len(stages) == 0 {
+		return p
+	}
+	for _, root := range stages {
+		p.WallMS += root.DurMS
+		ms, steps := criticalPath(root, "")
+		p.CriticalPathMS += ms
+		p.CriticalPath = append(p.CriticalPath, steps...)
+	}
+
+	var selfs []SelfTime
+	regions := map[string]*RegionStats{}
+	regionWorkers := map[string]map[int]bool{}
+	var walk func(s SpanSnapshot, prefix string)
+	walk = func(s SpanSnapshot, prefix string) {
+		path := joinSpanPath(prefix, s.Name)
+		selfs = append(selfs, SelfTime{
+			Path:       path,
+			SelfMS:     exclusiveMS(s),
+			TotalMS:    s.DurMS,
+			AllocBytes: s.AllocBytes,
+		})
+		if w, ok := workerIndex(s); ok {
+			name := regionName(s.Name)
+			r := regions[name]
+			if r == nil {
+				r = &RegionStats{Name: name}
+				regions[name] = r
+				regionWorkers[name] = map[int]bool{}
+			}
+			regionWorkers[name][w] = true
+			r.LaneMS += s.DurMS
+			if busy, ok := attrFloat(s.Attrs["busy_ms"]); ok {
+				r.BusyMS += busy
+			}
+			if tasks, ok := attrFloat(s.Attrs["tasks"]); ok {
+				r.Tasks += int64(tasks)
+			}
+		}
+		for _, c := range s.Children {
+			walk(c, path)
+		}
+	}
+	for _, root := range stages {
+		walk(root, "")
+	}
+
+	sort.SliceStable(selfs, func(i, j int) bool { return selfs[i].SelfMS > selfs[j].SelfMS })
+	if len(selfs) > topN {
+		selfs = selfs[:topN]
+	}
+	p.SelfTimes = selfs
+
+	names := make([]string, 0, len(regions))
+	for n := range regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := regions[n]
+		r.Workers = len(regionWorkers[n])
+		if r.LaneMS > 0 {
+			r.Efficiency = r.BusyMS / r.LaneMS
+			if r.Efficiency > 1 {
+				r.Efficiency = 1
+			}
+		}
+		p.Regions = append(p.Regions, *r)
+	}
+	return p
+}
+
+// criticalPath computes a span's critical-path time and the step chain
+// behind it: the span's exclusive self-time, then — child clusters taken in
+// time order, overlapping children forming one cluster — the critical path
+// of each cluster's longest member. Sequential children therefore add up
+// while concurrent workers contribute only the slowest lane.
+func criticalPath(s SpanSnapshot, prefix string) (float64, []PathStep) {
+	path := joinSpanPath(prefix, s.Name)
+	steps := []PathStep{{Path: path, SelfMS: exclusiveMS(s)}}
+	total := steps[0].SelfMS
+	for _, cluster := range overlapClusters(s) {
+		bestMS, bestSteps := -1.0, []PathStep(nil)
+		for _, c := range cluster {
+			ms, st := criticalPath(c, path)
+			if ms > bestMS {
+				bestMS, bestSteps = ms, st
+			}
+		}
+		total += bestMS
+		steps = append(steps, bestSteps...)
+	}
+	return total, steps
+}
+
+// exclusiveMS is the span's duration minus the union of its children's
+// intervals (clipped to the span), floored at zero against float noise.
+func exclusiveMS(s SpanSnapshot) float64 {
+	covered := 0.0
+	for _, cluster := range overlapClusters(s) {
+		start, end := cluster[0].StartMS, cluster[0].StartMS
+		for _, c := range cluster {
+			if e := c.StartMS + c.DurMS; e > end {
+				end = e
+			}
+		}
+		if spanEnd := s.StartMS + s.DurMS; end > spanEnd {
+			end = spanEnd
+		}
+		if end > start {
+			covered += end - start
+		}
+	}
+	self := s.DurMS - covered
+	if self < 0 {
+		return 0
+	}
+	return self
+}
+
+// overlapClusters groups a span's children into maximal runs of overlapping
+// intervals, in start order: members of one cluster ran concurrently (the
+// par worker lanes), distinct clusters ran sequentially.
+func overlapClusters(s SpanSnapshot) [][]SpanSnapshot {
+	if len(s.Children) == 0 {
+		return nil
+	}
+	children := append([]SpanSnapshot(nil), s.Children...)
+	sort.SliceStable(children, func(i, j int) bool { return children[i].StartMS < children[j].StartMS })
+	var clusters [][]SpanSnapshot
+	curEnd := 0.0
+	for _, c := range children {
+		if len(clusters) > 0 && c.StartMS < curEnd {
+			clusters[len(clusters)-1] = append(clusters[len(clusters)-1], c)
+		} else {
+			clusters = append(clusters, []SpanSnapshot{c})
+			curEnd = c.StartMS
+		}
+		if e := c.StartMS + c.DurMS; e > curEnd {
+			curEnd = e
+		}
+	}
+	return clusters
+}
+
+// regionName strips the "/worker-N" suffix a par worker span carries,
+// leaving the region's par.Options.Name.
+func regionName(spanName string) string {
+	if i := strings.LastIndex(spanName, "/worker-"); i >= 0 {
+		return spanName[:i]
+	}
+	return spanName
+}
+
+func joinSpanPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "/" + name
+}
+
+// Markdown renders the profile as the "Performance profile" section body of
+// REPORT.md: critical path, self-time ranking, and worker utilization.
+func (p *Profile) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Total stage wall %.1f ms; critical path %.1f ms (%.0f%% of wall).\n",
+		p.WallMS, p.CriticalPathMS, pct(p.CriticalPathMS, p.WallMS))
+	fmt.Fprintf(&b, "Timings are observability-only: they vary run to run and are quarantined\nfrom determinism comparisons.\n")
+
+	if len(p.CriticalPath) > 0 {
+		fmt.Fprintf(&b, "\n**Critical path** (span, exclusive contribution):\n\n")
+		fmt.Fprintf(&b, "| span | self ms | share |\n|---|---|---|\n")
+		for _, st := range p.CriticalPath {
+			fmt.Fprintf(&b, "| %s | %.1f | %.0f%% |\n", st.Path, st.SelfMS, pct(st.SelfMS, p.CriticalPathMS))
+		}
+	}
+	if len(p.SelfTimes) > 0 {
+		fmt.Fprintf(&b, "\n**Top stages by exclusive self-time:**\n\n")
+		fmt.Fprintf(&b, "| span | self ms | total ms | alloc |\n|---|---|---|---|\n")
+		for _, st := range p.SelfTimes {
+			fmt.Fprintf(&b, "| %s | %.1f | %.1f | %s |\n", st.Path, st.SelfMS, st.TotalMS, humanBytes(st.AllocBytes))
+		}
+	}
+	if len(p.Regions) > 0 {
+		fmt.Fprintf(&b, "\n**Parallel regions** (internal/par busy/idle accounting):\n\n")
+		fmt.Fprintf(&b, "| region | workers | tasks | busy ms | lane ms | efficiency |\n|---|---|---|---|---|---|\n")
+		for _, r := range p.Regions {
+			fmt.Fprintf(&b, "| %s | %d | %d | %.1f | %.1f | %.0f%% |\n",
+				r.Name, r.Workers, r.Tasks, r.BusyMS, r.LaneMS, 100*r.Efficiency)
+		}
+	}
+	return b.String()
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part / whole
+}
+
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticForest is one root stage with a sequential prelude, a two-worker
+// parallel region, and a sequential tail — the shape every pipeline stage
+// takes — with hand-picked times so each profile quantity has an exact
+// expected value.
+func syntheticForest() []SpanSnapshot {
+	return []SpanSnapshot{{
+		Name: "stage", StartMS: 0, DurMS: 100, Ended: true,
+		Children: []SpanSnapshot{
+			{Name: "prep", StartMS: 0, DurMS: 20, Ended: true},
+			{Name: "r/worker-0", StartMS: 20, DurMS: 50, Ended: true,
+				Attrs: map[string]any{"worker": 0, "busy_ms": 45.0, "idle_ms": 5.0, "tasks": 5}},
+			{Name: "r/worker-1", StartMS: 22, DurMS: 60, Ended: true,
+				Attrs: map[string]any{"worker": 1, "busy_ms": 55.0, "idle_ms": 5.0, "tasks": 7}},
+			{Name: "post", StartMS: 85, DurMS: 10, Ended: true},
+		},
+	}}
+}
+
+func TestBuildProfileCriticalPath(t *testing.T) {
+	p := BuildProfile(syntheticForest(), 10)
+
+	if p.WallMS != 100 {
+		t.Fatalf("WallMS = %g, want 100", p.WallMS)
+	}
+	// Children cover [0,20] ∪ [20,82] ∪ [85,95] = 92ms, so the root keeps 8ms
+	// exclusive; the concurrent workers contribute only the slower lane (60).
+	want := 8.0 + 20 + 60 + 10
+	if math.Abs(p.CriticalPathMS-want) > 1e-9 {
+		t.Fatalf("CriticalPathMS = %g, want %g", p.CriticalPathMS, want)
+	}
+
+	// The invariant REPORT.md quotes: the step self-times sum to the total.
+	sum := 0.0
+	var paths []string
+	for _, st := range p.CriticalPath {
+		sum += st.SelfMS
+		paths = append(paths, st.Path)
+	}
+	if math.Abs(sum-p.CriticalPathMS) > 1e-9 {
+		t.Fatalf("Σ steps = %g != CriticalPathMS %g", sum, p.CriticalPathMS)
+	}
+	joined := strings.Join(paths, " ")
+	if !strings.Contains(joined, "stage/r/worker-1") {
+		t.Fatalf("critical path skipped the slow worker lane: %v", paths)
+	}
+	if strings.Contains(joined, "worker-0") {
+		t.Fatalf("critical path included the fast lane of a concurrent cluster: %v", paths)
+	}
+}
+
+func TestBuildProfileRegions(t *testing.T) {
+	p := BuildProfile(syntheticForest(), 10)
+	if len(p.Regions) != 1 {
+		t.Fatalf("regions = %+v, want exactly one", p.Regions)
+	}
+	r := p.Regions[0]
+	if r.Name != "r" || r.Workers != 2 || r.Tasks != 12 {
+		t.Fatalf("region = %+v, want name=r workers=2 tasks=12", r)
+	}
+	if r.BusyMS != 100 || r.LaneMS != 110 {
+		t.Fatalf("region busy/lane = %g/%g, want 100/110", r.BusyMS, r.LaneMS)
+	}
+	if math.Abs(r.Efficiency-100.0/110.0) > 1e-9 {
+		t.Fatalf("efficiency = %g, want %g", r.Efficiency, 100.0/110.0)
+	}
+}
+
+func TestBuildProfileSelfTimeRanking(t *testing.T) {
+	p := BuildProfile(syntheticForest(), 3)
+	if len(p.SelfTimes) != 3 {
+		t.Fatalf("topN not applied: got %d entries", len(p.SelfTimes))
+	}
+	for i := 1; i < len(p.SelfTimes); i++ {
+		if p.SelfTimes[i].SelfMS > p.SelfTimes[i-1].SelfMS {
+			t.Fatalf("self-time ranking not descending: %+v", p.SelfTimes)
+		}
+	}
+	if p.SelfTimes[0].Path != "stage/r/worker-1" || p.SelfTimes[0].SelfMS != 60 {
+		t.Fatalf("top self-time = %+v, want stage/r/worker-1 at 60ms", p.SelfTimes[0])
+	}
+}
+
+// TestBuildProfileSequentialRoots: root stages are sequential by the pipeline
+// contract, so wall and critical path accumulate across roots.
+func TestBuildProfileSequentialRoots(t *testing.T) {
+	stages := []SpanSnapshot{
+		{Name: "a", StartMS: 0, DurMS: 30, Ended: true},
+		{Name: "b", StartMS: 30, DurMS: 70, Ended: true},
+	}
+	p := BuildProfile(stages, 10)
+	if p.WallMS != 100 || p.CriticalPathMS != 100 {
+		t.Fatalf("wall/critical = %g/%g, want 100/100", p.WallMS, p.CriticalPathMS)
+	}
+}
+
+func TestBuildProfileEmpty(t *testing.T) {
+	p := BuildProfile(nil, 10)
+	if p.WallMS != 0 || len(p.CriticalPath) != 0 || len(p.Regions) != 0 {
+		t.Fatalf("empty forest produced a non-empty profile: %+v", p)
+	}
+}
+
+// TestProfileJSONRoundTrip: the manifest's profile block must survive a JSON
+// round trip with the worker attrs decoded as float64 (how manifests come
+// back from disk) still aggregating identically.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	direct := BuildProfile(syntheticForest(), 10)
+
+	data, err := json.Marshal(syntheticForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []SpanSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := BuildProfile(decoded, 10)
+
+	if rebuilt.CriticalPathMS != direct.CriticalPathMS {
+		t.Fatalf("critical path changed across JSON: %g vs %g", rebuilt.CriticalPathMS, direct.CriticalPathMS)
+	}
+	if len(rebuilt.Regions) != 1 || rebuilt.Regions[0] != direct.Regions[0] {
+		t.Fatalf("region stats changed across JSON: %+v vs %+v", rebuilt.Regions, direct.Regions)
+	}
+}
+
+func TestProfileMarkdown(t *testing.T) {
+	mdown := BuildProfile(syntheticForest(), 10).Markdown()
+	for _, want := range []string{
+		"Total stage wall 100.0 ms",
+		"**Critical path**",
+		"**Top stages by exclusive self-time:**",
+		"**Parallel regions**",
+		"| r | 2 | 12 |",
+	} {
+		if !strings.Contains(mdown, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, mdown)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: the span forest, per-worker tracks, funnel and
+// chaos counter tracks, and chaos-fault instant events serialized in the
+// trace-event JSON format, loadable by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. The export is a pure rendering of recorded timeline
+// state — it draws no randomness and never feeds back into results.
+//
+// Track layout: every span runs on the process pid TracePID. Spans opened by
+// the sequential pipeline cursor render on the "main" thread (tid 1);
+// par worker spans — recognized by their "worker" attribute — and everything
+// nested under them render on a per-worker "worker-N" track (tid 2+N), so a
+// parallel region reads as N concurrent lanes whose busy/idle gaps are the
+// utilization picture internal/par accounts.
+
+// TracePID is the synthetic process id of all exported events.
+const TracePID = 1
+
+// traceMainTID is the track of cursor-nested (sequential) spans.
+const traceMainTID = 1
+
+// traceWorkerTIDBase maps worker w to tid traceWorkerTIDBase+w.
+const traceWorkerTIDBase = 2
+
+// TraceEvent is one trace-event object. Field names follow the trace-event
+// format: ph is the phase ("X" complete, "i" instant, "C" counter, "M"
+// metadata), ts/dur are microseconds relative to the trace origin.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"` // pointer: 0 is meaningful on "X"
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("p" = process)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the on-disk JSON object. Perfetto accepts this envelope
+// directly; traceEvents carries every event.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// BuildTrace renders the tracer's recorded timeline — spans, instants, and
+// counter marks — as a trace file. The tracer's epoch is the trace origin.
+func BuildTrace(t *Tracer) *TraceFile {
+	tf := &TraceFile{DisplayTimeUnit: "ms"}
+	if t == nil {
+		return tf
+	}
+	spans := t.Snapshot(t.Epoch())
+
+	// Metadata: name the process and the main track up front; worker tracks
+	// are named as they are discovered.
+	tf.add(TraceEvent{Name: "process_name", Ph: "M", Pid: TracePID, Tid: traceMainTID,
+		Args: map[string]any{"name": "offnetrisk"}})
+	tf.add(TraceEvent{Name: "thread_name", Ph: "M", Pid: TracePID, Tid: traceMainTID,
+		Args: map[string]any{"name": "main"}})
+
+	namedTids := map[int]bool{traceMainTID: true}
+	for _, s := range spans {
+		tf.addSpan(s, traceMainTID, namedTids)
+	}
+	for _, in := range t.Instants() {
+		tf.add(TraceEvent{
+			Name: in.Name, Cat: "instant", Ph: "i", S: "p",
+			TS: in.AtMS * 1000, Pid: TracePID, Tid: traceMainTID,
+			Args: in.Attrs,
+		})
+	}
+	if sup := t.InstantsSuppressed(); len(sup) > 0 {
+		// Record what the per-name cap dropped, so a heavily-faulted trace
+		// says it is a sample rather than silently looking complete.
+		tf.OtherData = map[string]any{"instants_suppressed": sup}
+	}
+	for _, mark := range t.Marks() {
+		for _, f := range mark.Funnels {
+			tf.add(TraceEvent{
+				Name: "funnel:" + f.Name, Cat: "funnel", Ph: "C",
+				TS: mark.AtMS * 1000, Pid: TracePID, Tid: traceMainTID,
+				Args: map[string]any{"kept": f.Out, "dropped": f.Dropped()},
+			})
+		}
+		for _, name := range sortedKeys(mark.Counters) {
+			tf.add(TraceEvent{
+				Name: name, Cat: "counter", Ph: "C",
+				TS: mark.AtMS * 1000, Pid: TracePID, Tid: traceMainTID,
+				Args: map[string]any{"value": mark.Counters[name]},
+			})
+		}
+	}
+	return tf
+}
+
+func (tf *TraceFile) add(e TraceEvent) { tf.TraceEvents = append(tf.TraceEvents, e) }
+
+// addSpan emits one complete ("X") event per span, descending with the
+// track inherited from the parent unless the span is a par worker span,
+// which opens (and names) its own worker track.
+func (tf *TraceFile) addSpan(s SpanSnapshot, tid int, namedTids map[int]bool) {
+	if w, ok := workerIndex(s); ok {
+		tid = traceWorkerTIDBase + w
+		if !namedTids[tid] {
+			namedTids[tid] = true
+			tf.add(TraceEvent{Name: "thread_name", Ph: "M", Pid: TracePID, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("worker-%d", w)}})
+			tf.add(TraceEvent{Name: "thread_sort_index", Ph: "M", Pid: TracePID, Tid: tid,
+				Args: map[string]any{"sort_index": tid}})
+		}
+	}
+	args := make(map[string]any, len(s.Attrs)+2)
+	for k, v := range s.Attrs {
+		args[k] = v
+	}
+	args["alloc_bytes"] = s.AllocBytes
+	args["mallocs"] = s.Mallocs
+	dur := s.DurMS * 1000
+	tf.add(TraceEvent{
+		Name: s.Name, Cat: "span", Ph: "X",
+		TS: s.StartMS * 1000, Dur: &dur,
+		Pid: TracePID, Tid: tid, Args: args,
+	})
+	for _, c := range s.Children {
+		tf.addSpan(c, tid, namedTids)
+	}
+}
+
+// workerIndex recognizes a par worker span by its "worker" attribute (an int
+// on live snapshots, a float64 after a JSON round trip).
+func workerIndex(s SpanSnapshot) (int, bool) {
+	v, ok := s.Attrs["worker"]
+	if !ok {
+		return 0, false
+	}
+	f, ok := attrFloat(v)
+	if !ok || f < 0 {
+		return 0, false
+	}
+	return int(f), true
+}
+
+// attrFloat coerces a span attribute to float64 across the types attribute
+// values take live (int, int64, float64) and after JSON decoding (float64).
+func attrFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// WriteTrace serializes the tracer's timeline as trace-event JSON.
+func WriteTrace(w io.Writer, t *Tracer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(BuildTrace(t)); err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	return nil
+}
+
+// WriteTraceFile writes the trace to path (the -trace flag's sink).
+func WriteTraceFile(path string, t *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace %s: %w", path, err)
+	}
+	if err := WriteTrace(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close trace %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadTraceFile loads a trace written by WriteTraceFile (cmd/obsprofile and
+// the schema tests).
+func ReadTraceFile(path string) (*TraceFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("obs: parse trace %s: %w", path, err)
+	}
+	return &tf, nil
+}
+
+// ValidateTrace checks the structural contract of an exported trace: every
+// event carries a known phase, a name, the process pid, non-negative
+// timestamps, and a duration exactly when the phase requires one. It returns
+// the first violation, or nil. This is the strict-schema gate the CI test
+// runs over real exports.
+func ValidateTrace(tf *TraceFile) error {
+	if tf == nil {
+		return fmt.Errorf("obs: nil trace")
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	for i, e := range tf.TraceEvents {
+		where := fmt.Sprintf("event %d (%q)", i, e.Name)
+		if e.Name == "" {
+			return fmt.Errorf("obs: %s: empty name", where)
+		}
+		if e.Pid != TracePID {
+			return fmt.Errorf("obs: %s: pid %d, want %d", where, e.Pid, TracePID)
+		}
+		if e.Tid < traceMainTID {
+			return fmt.Errorf("obs: %s: invalid tid %d", where, e.Tid)
+		}
+		switch e.Ph {
+		case "X":
+			if e.TS < 0 {
+				return fmt.Errorf("obs: %s: negative ts %g", where, e.TS)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				return fmt.Errorf("obs: %s: complete event without non-negative dur", where)
+			}
+		case "i":
+			if e.TS < 0 {
+				return fmt.Errorf("obs: %s: negative ts %g", where, e.TS)
+			}
+			if e.S != "p" && e.S != "t" && e.S != "g" {
+				return fmt.Errorf("obs: %s: instant scope %q", where, e.S)
+			}
+		case "C":
+			if e.TS < 0 {
+				return fmt.Errorf("obs: %s: negative ts %g", where, e.TS)
+			}
+			if len(e.Args) == 0 {
+				return fmt.Errorf("obs: %s: counter event without args", where)
+			}
+			for k, v := range e.Args {
+				if _, ok := attrFloat(v); !ok {
+					return fmt.Errorf("obs: %s: counter arg %s is not numeric (%T)", where, k, v)
+				}
+			}
+		case "M":
+			if len(e.Args) == 0 {
+				return fmt.Errorf("obs: %s: metadata event without args", where)
+			}
+		default:
+			return fmt.Errorf("obs: %s: unknown phase %q", where, e.Ph)
+		}
+	}
+	return nil
+}
+
+// SpanEvents filters the complete ("X") span events, sorted by start time —
+// a convenience for analyzers and tests.
+func (tf *TraceFile) SpanEvents() []TraceEvent {
+	var out []TraceEvent
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" && e.Cat == "span" {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// CounterTracks lists the distinct counter-track names in the trace, sorted.
+func (tf *TraceFile) CounterTracks() []string {
+	seen := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "C" {
+			seen[e.Name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InstantNames lists the distinct instant-event names, sorted — the chaos
+// fault kinds visible on the timeline.
+func (tf *TraceFile) InstantNames() []string {
+	seen := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "i" {
+			seen[e.Name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

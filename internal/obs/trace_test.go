@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildTimelineTracer records a real timeline: nested spans, a worker span,
+// instants, and a counter mark (fired by the root span's End).
+func buildTimelineTracer(t *testing.T) *Tracer {
+	t.Helper()
+	tr := NewTracer()
+	tr.EnableTimeline()
+
+	fun := NewFunnel("trace_test.items", "items through the trace test")
+	cnt := NewCounter("chaos.trace_test_total", "test chaos counter")
+	fun.In(10)
+	fun.Out(9)
+	fun.Reason("lost").Inc()
+	cnt.Add(3)
+
+	root := tr.Start("stage")
+	child := root.Child("region/worker-2")
+	child.SetAttr("worker", 2)
+	child.SetAttr("busy_ms", 1.5)
+	child.SetAttr("tasks", 4)
+	grand := child.Child("inner")
+	grand.End()
+	child.End()
+	tr.Instant("chaos.test_fault", map[string]any{"addr": int64(7)})
+	root.End() // root End samples the funnel + chaos counters into a mark
+	return tr
+}
+
+// TestTraceExportSchema is the strict-schema gate over a real export: every
+// event must satisfy the trace-event structural contract ValidateTrace
+// enforces (known phase, name, pid/tid, ts/dur present where required).
+func TestTraceExportSchema(t *testing.T) {
+	tr := buildTimelineTracer(t)
+	tf := BuildTrace(tr)
+	if err := ValidateTrace(tf); err != nil {
+		t.Fatalf("real export failed schema validation: %v", err)
+	}
+
+	spans := tf.SpanEvents()
+	if len(spans) != 3 {
+		t.Fatalf("span events = %d, want 3", len(spans))
+	}
+	// The worker span and its subtree render on the worker track; the rest on
+	// the main track.
+	byName := map[string]TraceEvent{}
+	for _, e := range spans {
+		byName[e.Name] = e
+	}
+	if got := byName["stage"].Tid; got != traceMainTID {
+		t.Fatalf("stage tid = %d, want main %d", got, traceMainTID)
+	}
+	wantTid := traceWorkerTIDBase + 2
+	if got := byName["region/worker-2"].Tid; got != wantTid {
+		t.Fatalf("worker span tid = %d, want %d", got, wantTid)
+	}
+	if got := byName["inner"].Tid; got != wantTid {
+		t.Fatalf("span nested under a worker should inherit its track: tid %d, want %d", got, wantTid)
+	}
+
+	// The worker track must be named via thread_name metadata.
+	namedWorker := false
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" && e.Tid == wantTid {
+			namedWorker = e.Args["name"] == "worker-2"
+		}
+	}
+	if !namedWorker {
+		t.Fatal("worker track missing its thread_name metadata")
+	}
+
+	if names := tf.InstantNames(); len(names) != 1 || names[0] != "chaos.test_fault" {
+		t.Fatalf("instant names = %v, want [chaos.test_fault]", names)
+	}
+	tracks := tf.CounterTracks()
+	wantTracks := map[string]bool{"funnel:trace_test.items": false, "chaos.trace_test_total": false}
+	for _, n := range tracks {
+		if _, ok := wantTracks[n]; ok {
+			wantTracks[n] = true
+		}
+	}
+	for n, seen := range wantTracks {
+		if !seen {
+			t.Fatalf("counter track %q missing (got %v)", n, tracks)
+		}
+	}
+}
+
+// TestTraceFileRoundTrip: the on-disk JSON reparses into the same structure
+// and still validates — what cmd/obsprofile -validate-trace relies on.
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := buildTimelineTracer(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(tf); err != nil {
+		t.Fatalf("round-tripped trace failed validation: %v", err)
+	}
+	orig := BuildTrace(tr)
+	if len(tf.TraceEvents) != len(orig.TraceEvents) {
+		t.Fatalf("event count changed across disk: %d vs %d", len(tf.TraceEvents), len(orig.TraceEvents))
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	dur := 5.0
+	negDur := -1.0
+	good := TraceEvent{Name: "ok", Ph: "X", TS: 0, Dur: &dur, Pid: TracePID, Tid: 1}
+	cases := []struct {
+		name string
+		ev   TraceEvent
+	}{
+		{"empty name", TraceEvent{Ph: "X", Dur: &dur, Pid: TracePID, Tid: 1}},
+		{"wrong pid", TraceEvent{Name: "x", Ph: "X", Dur: &dur, Pid: 9, Tid: 1}},
+		{"zero tid", TraceEvent{Name: "x", Ph: "X", Dur: &dur, Pid: TracePID, Tid: 0}},
+		{"complete without dur", TraceEvent{Name: "x", Ph: "X", Pid: TracePID, Tid: 1}},
+		{"negative dur", TraceEvent{Name: "x", Ph: "X", Dur: &negDur, Pid: TracePID, Tid: 1}},
+		{"negative ts", TraceEvent{Name: "x", Ph: "X", TS: -1, Dur: &dur, Pid: TracePID, Tid: 1}},
+		{"instant bad scope", TraceEvent{Name: "x", Ph: "i", S: "z", Pid: TracePID, Tid: 1}},
+		{"counter without args", TraceEvent{Name: "x", Ph: "C", Pid: TracePID, Tid: 1}},
+		{"counter non-numeric arg", TraceEvent{Name: "x", Ph: "C", Pid: TracePID, Tid: 1, Args: map[string]any{"v": "NaNish"}}},
+		{"unknown phase", TraceEvent{Name: "x", Ph: "Q", Pid: TracePID, Tid: 1}},
+	}
+	for _, tc := range cases {
+		tf := &TraceFile{TraceEvents: []TraceEvent{good, tc.ev}}
+		if err := ValidateTrace(tf); err == nil {
+			t.Errorf("%s: validation accepted a malformed event", tc.name)
+		}
+	}
+	if err := ValidateTrace(&TraceFile{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := ValidateTrace(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+// TestInstantCapSuppresses: past the per-name cap, instants count instead of
+// record, and the export notes the suppression in otherData.
+func TestInstantCapSuppresses(t *testing.T) {
+	tr := NewTracer()
+	tr.EnableTimeline()
+	const extra = 25
+	for i := 0; i < maxInstantsPerName+extra; i++ {
+		tr.Instant("hot.fault", map[string]any{"i": i})
+	}
+	tr.Instant("rare.fault", nil)
+
+	if n := len(tr.Instants()); n != maxInstantsPerName+1 {
+		t.Fatalf("recorded %d instants, want %d", n, maxInstantsPerName+1)
+	}
+	sup := tr.InstantsSuppressed()
+	if sup["hot.fault"] != extra {
+		t.Fatalf("suppressed[hot.fault] = %d, want %d", sup["hot.fault"], extra)
+	}
+	if _, ok := sup["rare.fault"]; ok {
+		t.Fatal("uncapped name reported as suppressed")
+	}
+
+	tf := BuildTrace(tr)
+	od, ok := tf.OtherData["instants_suppressed"].(map[string]int64)
+	if !ok || od["hot.fault"] != extra {
+		t.Fatalf("otherData missing suppression note: %#v", tf.OtherData)
+	}
+	if err := ValidateTrace(tf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineDisabledIsInert: with the timeline off (the default), instants
+// are dropped and marks never accumulate — the -trace machinery costs nothing
+// unless asked for.
+func TestTimelineDisabledIsInert(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("ignored", nil)
+	root := tr.Start("stage")
+	root.End()
+	if len(tr.Instants()) != 0 || len(tr.Marks()) != 0 {
+		t.Fatalf("disabled timeline recorded state: %d instants, %d marks",
+			len(tr.Instants()), len(tr.Marks()))
+	}
+	if tr.TimelineEnabled() {
+		t.Fatal("timeline reported enabled by default")
+	}
+
+	var nilTr *Tracer
+	nilTr.Instant("ignored", nil)
+	nilTr.EnableTimeline()
+	if nilTr.TimelineEnabled() || nilTr.Instants() != nil || nilTr.InstantsSuppressed() != nil {
+		t.Fatal("nil tracer timeline methods not inert")
+	}
+	if tf := BuildTrace(nilTr); len(tf.TraceEvents) != 0 {
+		t.Fatal("nil tracer produced trace events")
+	}
+}
+
+// TestMarksDedupe: a root-span end with no counter movement adds no mark.
+func TestMarksDedupe(t *testing.T) {
+	tr := NewTracer()
+	tr.EnableTimeline()
+	cnt := NewCounter(fmt.Sprintf("chaos.dedupe_%d_total", time.Now().UnixNano()), "test counter")
+
+	cnt.Inc()
+	tr.Start("first").End()
+	marks1 := len(tr.Marks())
+	if marks1 == 0 {
+		t.Fatal("moved counter produced no mark")
+	}
+
+	tr.Start("second").End() // nothing moved since the first mark
+	if len(tr.Marks()) != marks1 {
+		t.Fatalf("unmoved counters re-marked: %d vs %d", len(tr.Marks()), marks1)
+	}
+
+	cnt.Inc()
+	tr.Start("third").End()
+	if len(tr.Marks()) != marks1+1 {
+		t.Fatalf("moved counter did not re-mark: %d vs %d", len(tr.Marks()), marks1+1)
+	}
+}

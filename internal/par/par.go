@@ -22,8 +22,21 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"offnetrisk/internal/obs"
+)
+
+// Deterministic fan-out metrics: totals are functions of the task structure
+// alone (never of timing or worker count), so they land in run manifests and
+// survive the runsdiff drift gate. Wall-clock accounting — per-worker busy
+// and idle time — lives on spans only, where it is quarantined like every
+// other duration.
+var (
+	mTasks = obs.NewCounter("par.tasks_total",
+		"tasks executed across all parallel regions")
+	mRegions = obs.NewCounter("par.regions_total",
+		"parallel regions (Map/ForEach fan-outs) entered")
 )
 
 // Options tunes a fan-out. The zero value is valid: GOMAXPROCS workers, no
@@ -65,10 +78,14 @@ func (e *panicError) Error() string {
 // returns the context's error.
 //
 // When opts.Name is set and ctx carries a span (obs.ContextWithSpan), each
-// worker opens a "<Name>/worker-<w>" child span counting the tasks it ran;
-// the context passed to fn carries the worker's span so task code can
-// attach children of its own. Span attribution is observability-only — it
-// never alters results.
+// worker opens a "<Name>/worker-<w>" child span recording the tasks it ran,
+// the time it spent inside tasks (busy_ms), the time it idled waiting for
+// work or stragglers (idle_ms), and its startup delay (queue_wait_ms); the
+// parent span gains a one-line "par:<Name>" summary with the region's
+// parallel efficiency (Σ busy / (workers × region wall)). The context
+// passed to fn carries the worker's span so task code can attach children
+// of its own. Span attribution is observability-only — it never alters
+// results.
 func Map[R any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
 	return MapLocal(ctx, n, opts, func() struct{} { return struct{}{} },
 		func(ctx context.Context, i int, _ struct{}) (R, error) { return fn(ctx, i) })
@@ -98,6 +115,16 @@ func MapLocal[S, R any](ctx context.Context, n int, opts Options, newState func(
 	results := make([]R, n)
 	errs := make([]error, n)
 	parent := obs.SpanFromContext(ctx)
+	mRegions.Inc()
+
+	// Busy/idle accounting runs only in the instrumented case: an
+	// uninstrumented hot loop pays no time.Now calls.
+	timed := opts.Name != "" && parent != nil
+	var regionStart time.Time
+	if timed {
+		regionStart = time.Now()
+	}
+	var totalTasks, totalBusyNS atomic.Int64
 
 	// Workers claim indices from an atomic cursor; each task writes only
 	// its own slot, so the interleaving never matters. workers==1 runs the
@@ -110,28 +137,50 @@ func MapLocal[S, R any](ctx context.Context, n int, opts Options, newState func(
 	work := func(w int) {
 		wctx := cctx
 		var ws *obs.Span
-		if opts.Name != "" && parent != nil {
+		var queueWait time.Duration
+		if timed {
 			ws = parent.Child(fmt.Sprintf("%s/worker-%d", opts.Name, w))
 			ws.SetAttr("worker", w)
 			wctx = obs.ContextWithSpan(cctx, ws)
+			// Startup delay: how long after the region opened this worker
+			// got scheduled and reached the claim loop.
+			queueWait = time.Since(regionStart)
 		}
 		state := newState()
 		tasks := 0
+		var busy time.Duration
 		for {
 			i := int(next.Add(1) - 1)
 			if i >= n || cctx.Err() != nil {
 				break
 			}
 			tasks++
-			if err := runTask(wctx, i, state, fn, results); err != nil {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			err := runTask(wctx, i, state, fn, results)
+			if timed {
+				busy += time.Since(t0)
+			}
+			if err != nil {
 				errs[i] = err
 				failed.Store(true)
 				cancel() // stop claiming; finished slots stay valid
 				break
 			}
 		}
+		totalTasks.Add(int64(tasks))
 		if ws != nil {
+			totalBusyNS.Add(int64(busy))
+			idle := ws.Elapsed() - busy
+			if idle < 0 {
+				idle = 0
+			}
 			ws.SetAttr("tasks", tasks)
+			ws.SetAttr("busy_ms", ms(busy))
+			ws.SetAttr("idle_ms", ms(idle))
+			ws.SetAttr("queue_wait_ms", ms(queueWait))
 			ws.End()
 		}
 	}
@@ -150,6 +199,21 @@ func MapLocal[S, R any](ctx context.Context, n int, opts Options, newState func(
 		wg.Wait()
 	}
 
+	mTasks.Add(totalTasks.Load())
+	if timed {
+		wall := time.Since(regionStart)
+		eff := 0.0
+		if wall > 0 {
+			eff = float64(totalBusyNS.Load()) / (float64(wall) * float64(workers))
+			if eff > 1 {
+				eff = 1
+			}
+		}
+		parent.SetAttr("par:"+opts.Name, fmt.Sprintf(
+			"workers=%d tasks=%d busy=%.1fms wall=%.1fms eff=%.0f%%",
+			workers, totalTasks.Load(), ms(time.Duration(totalBusyNS.Load())), ms(wall), 100*eff))
+	}
+
 	if failed.Load() {
 		// Deterministic error selection: the lowest-index failure, however
 		// the workers happened to interleave.
@@ -166,6 +230,9 @@ func MapLocal[S, R any](ctx context.Context, n int, opts Options, newState func(
 	}
 	return results, nil
 }
+
+// ms renders a duration as float milliseconds for span attributes.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // runTask executes one task with panic capture, writing its result slot.
 func runTask[S, R any](ctx context.Context, i int, state S, fn func(ctx context.Context, i int, state S) (R, error), results []R) (err error) {

@@ -296,3 +296,114 @@ func TestForEachLocal(t *testing.T) {
 		}
 	}
 }
+
+// TestMapBusyIdleAccounting: every worker span carries the busy/idle/queue
+// accounting the profile analyzer aggregates, the numbers are internally
+// consistent (busy ≤ lane duration, idle ≥ 0), and the parent gains the
+// "par:<Name>" efficiency summary.
+func TestMapBusyIdleAccounting(t *testing.T) {
+	tr := obs.NewTracer()
+	root := tr.Start("fanout")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	const n, workers = 12, 3
+	if _, err := Map(ctx, n, Options{Workers: workers, Name: "stage"}, func(ctx context.Context, i int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	snap := tr.Snapshot(time.Time{})
+	var totalBusy float64
+	var totalTasks int
+	for _, ws := range snap[0].Children {
+		busy, ok := ws.Attrs["busy_ms"].(float64)
+		if !ok {
+			t.Fatalf("worker span %q missing busy_ms: %v", ws.Name, ws.Attrs)
+		}
+		idle, ok := ws.Attrs["idle_ms"].(float64)
+		if !ok || idle < 0 {
+			t.Fatalf("worker span %q missing/negative idle_ms: %v", ws.Name, ws.Attrs)
+		}
+		if _, ok := ws.Attrs["queue_wait_ms"].(float64); !ok {
+			t.Fatalf("worker span %q missing queue_wait_ms: %v", ws.Name, ws.Attrs)
+		}
+		tasks := ws.Attrs["tasks"].(int)
+		if tasks > 0 && busy <= 0 {
+			t.Fatalf("worker span %q ran %d sleeping tasks with busy_ms=%g", ws.Name, tasks, busy)
+		}
+		if busy > ws.DurMS+1 { // +1ms slack for clock granularity
+			t.Fatalf("worker span %q busy %gms exceeds its own duration %gms", ws.Name, busy, ws.DurMS)
+		}
+		totalBusy += busy
+		totalTasks += tasks
+	}
+	if totalTasks != n {
+		t.Fatalf("tasks sum to %d, want %d", totalTasks, n)
+	}
+	// n tasks × 2ms sleep is a hard floor on summed busy time.
+	if totalBusy < float64(n)*2*0.9 {
+		t.Fatalf("summed busy %.1fms below the %.0fms sleep floor", totalBusy, float64(n)*2.0)
+	}
+
+	summary, ok := snap[0].Attrs["par:stage"].(string)
+	if !ok {
+		t.Fatalf("parent span missing par:stage summary: %v", snap[0].Attrs)
+	}
+	for _, want := range []string{"workers=3", "tasks=12", "busy=", "wall=", "eff="} {
+		if !strings.Contains(summary, want) {
+			t.Fatalf("par:stage summary %q missing %q", summary, want)
+		}
+	}
+}
+
+// TestMapAccountingOffWhenUnnamed: without a Name (or without a parent span)
+// no accounting runs — the uninstrumented hot path stays free of time.Now.
+func TestMapAccountingOffWhenUnnamed(t *testing.T) {
+	tr := obs.NewTracer()
+	root := tr.Start("fanout")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := Map(ctx, 4, Options{Workers: 2}, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	snap := tr.Snapshot(time.Time{})
+	if len(snap[0].Children) != 0 {
+		t.Fatalf("unnamed region opened worker spans: %+v", snap[0].Children)
+	}
+	if _, ok := snap[0].Attrs["par:"]; ok {
+		t.Fatal("unnamed region wrote a par: summary")
+	}
+}
+
+// TestParMetricsDeterministic: par.tasks_total / par.regions_total advance by
+// the task structure alone — identical at any worker count — which is what
+// lets them live in manifests under the runsdiff drift gate.
+func TestParMetricsDeterministic(t *testing.T) {
+	delta := func(workers int) (int64, int64) {
+		snap0 := obs.Default.Snapshot()
+		t0, r0 := snap0["par.tasks_total"].Value, snap0["par.regions_total"].Value
+		for rep := 0; rep < 3; rep++ {
+			if _, err := Map(context.Background(), 17, Options{Workers: workers}, func(ctx context.Context, i int) (int, error) {
+				return i, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap1 := obs.Default.Snapshot()
+		return int64(snap1["par.tasks_total"].Value - t0), int64(snap1["par.regions_total"].Value - r0)
+	}
+	wantTasks, wantRegions := delta(1)
+	if wantTasks != 3*17 || wantRegions != 3 {
+		t.Fatalf("serial deltas = %d tasks, %d regions; want 51, 3", wantTasks, wantRegions)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if tasks, regions := delta(workers); tasks != wantTasks || regions != wantRegions {
+			t.Fatalf("workers=%d deltas (%d, %d) != serial (%d, %d)",
+				workers, tasks, regions, wantTasks, wantRegions)
+		}
+	}
+}

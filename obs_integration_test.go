@@ -72,6 +72,22 @@ func TestInstrumentationDeterminism(t *testing.T) {
 		t.Fatal("instrumented run recorded no spans")
 	}
 
+	// Timeline recording (the -trace flag) is one more observability layer
+	// that must stay byte-transparent, at any worker count.
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		p := NewPipeline(42, ScaleTiny)
+		p.Workers = workers
+		ttr := obs.NewTracer()
+		ttr.EnableTimeline()
+		p.Instrument(ttr)
+		if got := runAll(t, p); got != plain {
+			t.Fatalf("Workers=%d with timeline recording diverged from the default run", workers)
+		}
+		if err := obs.ValidateTrace(obs.BuildTrace(ttr)); err != nil {
+			t.Fatalf("Workers=%d trace export failed schema validation: %v", workers, err)
+		}
+	}
+
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		p := NewPipeline(42, ScaleTiny)
 		p.Workers = workers

@@ -89,8 +89,12 @@ func NewPipeline(seed int64, scale Scale) *Pipeline {
 }
 
 // Instrument attaches a span tracer; every experiment method then records a
-// root span over its internal stages. Pass nil to disable again.
-func (p *Pipeline) Instrument(t *obs.Tracer) { p.tracer = t }
+// root span over its internal stages, and the chaos injector (if any) gains
+// the tracer's timeline for fault instant events. Pass nil to disable again.
+func (p *Pipeline) Instrument(t *obs.Tracer) {
+	p.tracer = t
+	p.Chaos.SetTimeline(t)
+}
 
 // Tracer returns the attached tracer (nil when uninstrumented).
 func (p *Pipeline) Tracer() *obs.Tracer { return p.tracer }
