@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios
 
 build:
 	$(GO) build ./...
@@ -59,8 +59,9 @@ profile:
 
 # race-obs runs first so concurrency regressions in the observability and
 # parallel substrates fail fast, before the full race suite; perf-gate is
-# pure file analysis and runs last.
-check: build vet race-obs race perf-gate
+# pure file analysis; check-scenarios proves every named scenario still
+# reproduces its committed golden manifest.
+check: build vet race-obs race perf-gate check-scenarios
 
 # Full reproduction report with provenance manifest.
 report:
@@ -100,3 +101,29 @@ check-chaos:
 # Regenerate the chaos golden manifest (same rules as `make golden`).
 golden-chaos:
 	$(GO) run ./cmd/reproduce -tiny -seed 42 -chaos heavy -chaos-seed 7 -out /tmp/golden-chaos-out -manifest out/golden_chaos_manifest.json
+
+# The scenario matrix: every distinctive named scenario, golden-gated at test
+# scale. The registry's tiny/large entries are pure topology aliases — at
+# -tiny their runs are byte-identical to default's, so gating them would
+# commit three copies of the same golden.
+SCENARIOS ?= default open-connect-everywhere ios-flash-crowd meta-cdn ocdn
+
+# Scenario determinism gate: reproduce each named scenario at the golden
+# seed/scale and diff its manifest (scenario name + spec hash included)
+# against the checked-in per-scenario reference.
+check-scenarios:
+	@for s in $(SCENARIOS); do \
+		echo "== scenario $$s"; \
+		$(GO) run ./cmd/reproduce -scenario $$s -tiny -seed 42 \
+			-out /tmp/scenario-$$s -manifest /tmp/scenario-$$s/manifest.json || exit 1; \
+		$(GO) run ./cmd/runsdiff out/golden_scenario_$$s.json /tmp/scenario-$$s/manifest.json || exit 1; \
+	done
+
+# Regenerate the per-scenario golden manifests (same rules as `make golden`:
+# commit the results and say why in the commit message).
+golden-scenarios:
+	@for s in $(SCENARIOS); do \
+		echo "== scenario $$s"; \
+		$(GO) run ./cmd/reproduce -scenario $$s -tiny -seed 42 \
+			-out /tmp/golden-scenario-$$s -manifest out/golden_scenario_$$s.json || exit 1; \
+	done

@@ -70,7 +70,7 @@ func (p *Pipeline) CapacityStudyContext(ctx context.Context) (*CapacityResult, e
 		return nil, err
 	}
 	sp := p.span("capacity-study/build-model")
-	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	m := capacity.Build(d, capacity.ConfigFromScenario(p.spec(), p.Seed))
 	sp.End()
 	out := &CapacityResult{}
 
@@ -135,7 +135,7 @@ func (p *Pipeline) CapacityStudyContext(ctx context.Context) (*CapacityResult, e
 		}
 	}
 	if panelISP != 0 {
-		apts := capacity.Apartments(530, panelISP, p.Seed)
+		apts := capacity.ApartmentsMix(530, panelISP, p.Seed, p.spec().Mix())
 		summary := capacity.Summarize(capacity.ApartmentStudy(m, apts))
 		out.Panel = PanelRow{
 			Apartments:   summary.Apartments,

@@ -67,7 +67,7 @@ func (p *Pipeline) CascadeStudyContext(ctx context.Context) (*CascadeResult, err
 		return nil, err
 	}
 	sp := p.span("cascade-study/build-model")
-	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	m := capacity.Build(d, capacity.ConfigFromScenario(p.spec(), p.Seed))
 	sp.End()
 	hosts := d.HostingISPs()
 	sctx, sp := p.spanCtx(ctx, "cascade-study/facility-sweep")
@@ -110,7 +110,7 @@ func (p *Pipeline) CascadeStudyContext(ctx context.Context) (*CascadeResult, err
 
 		// Session-level QoE: baseline vs this worst case.
 		base := cascade.Simulate(m, d, cascade.DefaultScenario())
-		scfg := session.DefaultConfig(p.Seed)
+		scfg := session.ConfigFromScenario(p.spec(), p.Seed)
 		scfg.Workers = p.Workers
 		baseSessions, err := session.RunContext(sctx, m, d, base, scfg)
 		if err != nil {
@@ -172,7 +172,7 @@ func (p *Pipeline) PerfectStormContext(ctx context.Context, failures int, surge 
 	if err != nil {
 		return nil, err
 	}
-	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	m := capacity.Build(d, capacity.ConfigFromScenario(p.spec(), p.Seed))
 	sc := cascade.DefaultScenario()
 	sc.Surge = map[traffic.HG]float64{
 		traffic.Google: surge, traffic.Netflix: surge,

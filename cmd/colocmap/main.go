@@ -21,6 +21,9 @@ func main() {
 	ccdf := flag.Bool("ccdf", false, "print the full Figure 2 CCDF series")
 	flag.Parse()
 
+	if common.HandleScenarioList() {
+		return
+	}
 	logger := common.Logger("colocmap")
 	ctx, stop := common.Context()
 	defer stop()

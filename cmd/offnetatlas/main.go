@@ -25,6 +25,9 @@ func main() {
 	out := flag.String("o", "", "write the atlas CSV here (default: stats only)")
 	flag.Parse()
 
+	if common.HandleScenarioList() {
+		return
+	}
 	logger := common.Logger("offnetatlas")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
@@ -37,6 +40,7 @@ func main() {
 	if err != nil {
 		fatal("invalid flags", err)
 	}
+	sp := p.Scenario()
 	tr := obs.NewTracer()
 	p.Instrument(tr)
 	stopObs, err := common.Observability(ctx, tr, logger)
@@ -50,19 +54,19 @@ func main() {
 	}
 
 	logger.Info("running latency campaign")
-	mcfg := mlab.DefaultConfig(common.Seed)
+	mcfg := mlab.ConfigFromScenario(sp, common.Seed)
 	mcfg.Workers = common.Workers
 	mcfg.Chaos = p.Chaos
-	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(163, common.Seed), mcfg)
+	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(sp.Measurement.PingSites, common.Seed), mcfg)
 	if err != nil {
 		fatal("latency campaign failed", err)
 	}
 	logger.Info("clustering")
-	a, err := coloc.AnalyzeContext(ctx, w, c, []float64{*xi}, common.Workers)
+	a, err := coloc.AnalyzeMixContext(ctx, w, c, []float64{*xi}, common.Workers, sp.Mix())
 	if err != nil {
 		fatal("clustering failed", err)
 	}
-	ptrs := rdns.Synthesize(d, rdns.DefaultConfig(common.Seed))
+	ptrs := rdns.Synthesize(d, rdns.ConfigFromScenario(sp, common.Seed))
 
 	entries := atlas.Build(d, c, a, ptrs, *xi)
 	s := atlas.Score(entries)

@@ -52,6 +52,9 @@ func main() {
 	snapshot := flag.Bool("snapshot", false, "emit a loadable world snapshot (inet.RestoreJSON format) instead of the flat dump")
 	flag.Parse()
 
+	if common.HandleScenarioList() {
+		return
+	}
 	logger := common.Logger("offnetgen")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
@@ -59,9 +62,13 @@ func main() {
 	}
 	ctx, stop := common.Context()
 	defer stop()
+	sp, err := common.ScenarioSpec()
+	if err != nil {
+		fatal("invalid flags", err)
+	}
 	// World generation injects no faults, but the shared -chaos flag should
 	// still reject unknown profiles here like everywhere else.
-	if _, err := common.Injector(); err != nil {
+	if _, err := common.InjectorFromSpec(sp); err != nil {
 		fatal("invalid flags", err)
 	}
 	stopObs, err := common.Observability(ctx, obs.NewTracer(), logger)
@@ -70,9 +77,13 @@ func main() {
 	}
 	defer stopObs()
 
-	w := inet.Generate(common.WorldConfig())
-	logger.Debug("world generated", "isps", len(w.ISPs), "facilities", len(w.Facilities))
-	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DefaultDeployConfig(common.Seed))
+	wcfg, err := common.WorldConfig()
+	if err != nil {
+		fatal("invalid flags", err)
+	}
+	w := inet.Generate(wcfg)
+	logger.Debug("world generated", "isps", len(w.ISPs), "facilities", len(w.Facilities), "scenario", sp.Name)
+	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DeployConfigFromScenario(sp, common.Seed))
 	if err != nil {
 		fatal("deploy failed", err)
 	}

@@ -22,6 +22,9 @@ func main() {
 	from := flag.String("from", "", "re-run the 2023 inference over an NDJSON scan dump instead of scanning")
 	flag.Parse()
 
+	if common.HandleScenarioList() {
+		return
+	}
 	logger := common.Logger("offnetscan")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
@@ -78,7 +81,7 @@ func main() {
 		if err != nil {
 			fatal("world build failed", err)
 		}
-		recs, err := scan.Simulate(d, scan.DefaultConfig(common.Seed))
+		recs, err := scan.Simulate(d, scan.ConfigFromScenario(p.Scenario(), common.Seed))
 		if err != nil {
 			fatal("scan simulation failed", err)
 		}

@@ -44,6 +44,9 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path")
 	flag.Parse()
 
+	if common.HandleScenarioList() {
+		return
+	}
 	logger := common.Logger("reproduce")
 	start := time.Now()
 	ctx, stop := common.Context()
@@ -72,6 +75,12 @@ func main() {
 
 	var md strings.Builder
 	fmt.Fprintf(&md, "# offnetrisk reproduction report\n\nseed %d, scale %v\n\n", common.Seed, scale)
+	// Scenario provenance appears only when -scenario was passed: plain runs
+	// keep the exact pre-scenario header, so their golden diffs stay clean.
+	if common.Scenario != "" {
+		sp := p.Scenario()
+		fmt.Fprintf(&md, "scenario `%s` (spec sha256 `%s`)\n\n", sp.Name, sp.Hash())
+	}
 
 	// Stages run in order; a failure is collected, not fatal, so one broken
 	// experiment still leaves the rest of the report usable. Cancellation is
@@ -311,6 +320,10 @@ func main() {
 	if *manifestPath != "" {
 		run("manifest", func() error {
 			m := obs.BuildManifest("reproduce", common.Seed, scale.String(), tr, start)
+			if common.Scenario != "" {
+				m.Scenario = p.Scenario().Name
+				m.ScenarioHash = p.Scenario().Hash()
+			}
 			chaos.Annotate(m, p.Chaos, chaos.DefaultThresholds())
 			if err := m.WriteFile(*manifestPath); err != nil {
 				return err
@@ -346,10 +359,11 @@ func reachabilityOf(ctx context.Context, p *offnetrisk.Pipeline, workers int) ([
 	if err != nil {
 		return nil, nil
 	}
-	mcfg := mlab.DefaultConfig(p.Seed)
+	sp := p.Scenario()
+	mcfg := mlab.ConfigFromScenario(sp, p.Seed)
 	mcfg.Workers = workers
 	mcfg.Chaos = p.Chaos
-	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(163, p.Seed), mcfg)
+	c, err := mlab.MeasureContext(ctx, d, mlab.Sites(sp.Measurement.PingSites, p.Seed), mcfg)
 	if err != nil {
 		return nil, err
 	}

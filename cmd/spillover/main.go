@@ -23,6 +23,9 @@ func main() {
 	sweeps := flag.Bool("sweeps", false, "also run the parameter sensitivity sweeps")
 	flag.Parse()
 
+	if common.HandleScenarioList() {
+		return
+	}
 	logger := common.Logger("spillover")
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
@@ -81,8 +84,9 @@ func main() {
 			fatal("world build failed", err)
 		}
 		decol := cascade.Decolocate(d)
-		mCol := capacity.Build(d, capacity.DefaultConfig(common.Seed))
-		mDecol := capacity.Build(decol, capacity.DefaultConfig(common.Seed))
+		ccfg := capacity.ConfigFromScenario(p.Scenario(), common.Seed)
+		mCol := capacity.Build(d, ccfg)
+		mDecol := capacity.Build(decol, ccfg)
 		col, err := cascade.MonteCarloContext(ctx, mCol, d, 3, 120, common.Seed, common.Workers)
 		if err != nil {
 			fatal("Monte Carlo (colocated) failed", err)

@@ -100,8 +100,8 @@ func (p *Pipeline) ColocationContext(ctx context.Context) (*ColocationResult, er
 		return nil, err
 	}
 	sctx, sp := p.spanCtx(ctx, "colocation/ping-campaign")
-	sites := mlab.Sites(163, p.Seed)
-	mcfg := mlab.DefaultConfig(p.Seed)
+	sites := mlab.Sites(p.spec().Measurement.PingSites, p.Seed)
+	mcfg := mlab.ConfigFromScenario(p.spec(), p.Seed)
 	mcfg.Workers = p.Workers
 	mcfg.Chaos = p.Chaos
 	campaign, err := mlab.MeasureContext(sctx, d, sites, mcfg)
@@ -113,7 +113,7 @@ func (p *Pipeline) ColocationContext(ctx context.Context) (*ColocationResult, er
 	sp.SetAttr("unresponsive", campaign.Unresponsive)
 	sp.End()
 	sctx, sp = p.spanCtx(ctx, "colocation/optics-cluster")
-	analysis, err := coloc.AnalyzeContext(sctx, w, campaign, Xis, p.Workers)
+	analysis, err := coloc.AnalyzeMixContext(sctx, w, campaign, Xis, p.Workers, p.spec().Mix())
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -184,7 +184,7 @@ func (p *Pipeline) ColocationContext(ctx context.Context) (*ColocationResult, er
 	// §3.2 validation against synthesized PTR records.
 	sp = p.span("colocation/rdns-validate")
 	defer sp.End()
-	ptrs := rdns.Synthesize(d, rdns.DefaultConfig(p.Seed))
+	ptrs := rdns.Synthesize(d, rdns.ConfigFromScenario(p.spec(), p.Seed))
 	for _, xi := range Xis {
 		clusters := make(map[string][][]netaddr.Addr)
 		for as, isp := range analysis.PerISP {

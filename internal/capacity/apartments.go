@@ -32,8 +32,16 @@ type Apartment struct {
 	Phase int
 }
 
-// Apartments synthesizes n households inside one ISP.
+// Apartments synthesizes n households inside one ISP under the paper's
+// traffic mix.
 func Apartments(n int, isp inet.ASN, seed int64) []Apartment {
+	return ApartmentsMix(n, isp, seed, traffic.DefaultMix())
+}
+
+// ApartmentsMix synthesizes n households whose per-hypergiant demand
+// weights follow the given traffic mix.
+func ApartmentsMix(n int, isp inet.ASN, seed int64, mix traffic.Mix) []Apartment {
+	mix = mix.Sanitized()
 	r := rngutil.New(seed ^ 0xa9a97)
 	out := make([]Apartment, 0, n)
 	for i := 0; i < n; i++ {
@@ -45,7 +53,7 @@ func Apartments(n int, isp inet.ASN, seed int64) []Apartment {
 		}
 		var sum float64
 		for hg := range a.Mix {
-			w := traffic.HG(hg).Share() * math.Exp(r.NormFloat64()*0.5)
+			w := mix.Share(traffic.HG(hg)) * math.Exp(r.NormFloat64()*0.5)
 			a.Mix[hg] = w
 			sum += w
 		}

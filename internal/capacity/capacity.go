@@ -43,6 +43,9 @@ type Config struct {
 	// briefly; the COVID data implies ≈1.2 (offnet traffic grew only 20%
 	// under a 58% demand spike).
 	BurstFactor float64
+	// Mix is the traffic mix demand is computed against; the zero Mix means
+	// the paper's published constants.
+	Mix traffic.Mix
 }
 
 // DefaultConfig returns the calibration used by the experiments.
@@ -65,6 +68,7 @@ func (c Config) sanitized() Config {
 	if c.BurstFactor < 1 {
 		c.BurstFactor = 1.2
 	}
+	c.Mix = c.Mix.Sanitized()
 	return c
 }
 
@@ -134,10 +138,10 @@ func Build(d *hypergiant.Deployment, cfg Config) *Model {
 			if isp.Tier == inet.TierTransit {
 				// Transit-hosted offnets are sized against the spillover
 				// their downstream customers generate in steady state.
-				servable = d.World.DownstreamUsers(as) * hg.Share() *
-					cfg.PeakMbpsPerUser / 1000 * hg.SteadyInterdomainShare()
+				servable = d.World.DownstreamUsers(as) * cfg.Mix.Share(hg) *
+					cfg.PeakMbpsPerUser / 1000 * cfg.Mix.SteadyInterdomainShare(hg)
 			} else {
-				servable = m.PeakDemand(hg, as) * hg.OffnetFraction()
+				servable = m.PeakDemand(hg, as) * cfg.Mix.OffnetFraction(hg)
 			}
 			nominal := servable * cfg.OffnetProvisioning * rngutil.Jitter(r, 1.0, 0.06)
 			site := &Site{
@@ -182,7 +186,7 @@ func (m *Model) PeakDemand(hg traffic.HG, as inet.ASN) float64 {
 	if !ok {
 		return 0
 	}
-	return isp.Users * hg.Share() * m.cfg.PeakMbpsPerUser / 1000
+	return isp.Users * m.cfg.Mix.Share(hg) * m.cfg.PeakMbpsPerUser / 1000
 }
 
 // Flow is how one (hypergiant, ISP) demand was served, in Gbps.
@@ -272,7 +276,7 @@ func (m *Model) serve(mult float64, scale map[traffic.HG]float64, failedFaciliti
 				avail *= 1 - lost
 			}
 			// Offnets can serve at most the cacheable share of demand.
-			offnet := math.Min(demand*hg.OffnetFraction(), avail)
+			offnet := math.Min(demand*m.cfg.Mix.OffnetFraction(hg), avail)
 			rest := demand - offnet
 			pni := math.Min(rest, m.PNIGbps[hg][as])
 			rest -= pni

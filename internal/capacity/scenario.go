@@ -1,0 +1,17 @@
+package capacity
+
+import "offnetrisk/internal/scenario"
+
+// ConfigFromScenario builds the capacity-model calibration a resolved spec
+// declares: demand from the deployment section, provisioning and burst
+// tolerance from the traffic section. With the default scenario it equals
+// DefaultConfig(seed) plus the equivalent default mix.
+func ConfigFromScenario(sp *scenario.Spec, seed int64) Config {
+	return Config{
+		Seed:               seed,
+		PeakMbpsPerUser:    sp.Deployment.PeakMbpsPerUser,
+		OffnetProvisioning: sp.Traffic.OffnetProvisioning,
+		BurstFactor:        sp.Traffic.BurstFactor,
+		Mix:                sp.Mix(),
+	}
+}

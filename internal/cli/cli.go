@@ -1,14 +1,16 @@
 // Package cli holds the flag surface shared by every command in cmd/: one
-// registration point so -seed, -tiny, -large, -v, -workers, -debug-addr,
-// -events, -chaos and -chaos-seed are spelled, defaulted and documented
-// identically everywhere,
+// registration point so -seed, -tiny, -large, -scenario, -v, -workers,
+// -debug-addr, -events, -chaos and -chaos-seed are spelled, defaulted and
+// documented identically everywhere,
 // plus the common startup plumbing (logger, SIGINT-cancelled context, debug
 // endpoints and event streams wired to that context).
 package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -19,40 +21,60 @@ import (
 	"offnetrisk/internal/chaos"
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
+	"offnetrisk/internal/scenario"
 )
 
 // Common is the flag set every command shares.
 type Common struct {
-	Seed      int64
-	Tiny      bool
-	Large     bool
-	Verbose   bool
-	Workers   int
-	DebugAddr string
-	Events    string
-	Trace     string
-	Chaos     string
-	ChaosSeed int64
+	Seed          int64
+	Tiny          bool
+	Large         bool
+	Scenario      string
+	ListScenarios bool
+	Verbose       bool
+	Workers       int
+	DebugAddr     string
+	Events        string
+	Trace         string
+	Chaos         string
+	ChaosSeed     int64
+
+	fs *flag.FlagSet
 }
 
 // Register installs the shared flags on fs. Call before the command's own
 // flags and before flag.Parse.
 func Register(fs *flag.FlagSet) *Common {
-	c := &Common{}
+	c := &Common{fs: fs}
 	fs.Int64Var(&c.Seed, "seed", 42, "world seed")
-	fs.BoolVar(&c.Tiny, "tiny", false, "use the miniature test world")
-	fs.BoolVar(&c.Large, "large", false, "use the large (paper-sized) world")
+	fs.BoolVar(&c.Tiny, "tiny", false, "run the scenario at miniature test scale (alias for the tiny topology)")
+	fs.BoolVar(&c.Large, "large", false, "run the scenario at the large (paper-sized) scale (alias for the large topology)")
+	fs.StringVar(&c.Scenario, "scenario", "", "named scenario or spec-file path declaring the world (see -list-scenarios)")
+	fs.BoolVar(&c.ListScenarios, "list-scenarios", false, "list the compiled-in scenarios and exit")
 	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) logging")
 	fs.IntVar(&c.Workers, "workers", 0, "parallel workers for experiment stages (0 = GOMAXPROCS)")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.Events, "events", "", "stream span start/end and funnel snapshots as JSONL to this file")
 	fs.StringVar(&c.Trace, "trace", "", "export the execution timeline as Perfetto-loadable trace-event JSON to this file")
-	fs.StringVar(&c.Chaos, "chaos", "off", "fault-injection profile: off, light or heavy")
-	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 7, "seed for the fault-injection streams (independent of -seed)")
+	fs.StringVar(&c.Chaos, "chaos", "off", "fault-injection profile: off, light or heavy (default: the scenario's)")
+	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 7, "seed for the fault-injection streams (independent of -seed; default: the scenario's)")
 	return c
 }
 
-// Scale maps -tiny/-large onto the pipeline scale.
+// HandleScenarioList prints the scenario registry and reports true when
+// -list-scenarios was requested; commands return immediately in that case.
+func (c *Common) HandleScenarioList() bool {
+	if !c.ListScenarios {
+		return false
+	}
+	for _, row := range scenario.Describe() {
+		fmt.Printf("%-24s %s\n", row[0], row[1])
+	}
+	return true
+}
+
+// Scale maps -tiny/-large onto the pipeline scale. The scale overrides the
+// scenario's topology section, so any scenario can run at test scale.
 func (c *Common) Scale() offnetrisk.Scale {
 	switch {
 	case c.Tiny:
@@ -64,16 +86,74 @@ func (c *Common) Scale() offnetrisk.Scale {
 	}
 }
 
-// WorldConfig maps -tiny/-large onto a raw world config, for commands that
-// generate a world directly instead of going through a Pipeline.
-func (c *Common) WorldConfig() inet.Config {
+// ScenarioSpec resolves -scenario/-tiny/-large to the run's scenario.
+// Without -scenario, -tiny and -large are aliases for the registry's tiny
+// and large scenarios; passing both at once is an error (previously one
+// silently won).
+func (c *Common) ScenarioSpec() (*scenario.Spec, error) {
+	if c.Tiny && c.Large {
+		return nil, errors.New("cli: -tiny and -large are mutually exclusive; pick one world size")
+	}
+	name := c.Scenario
+	if name == "" {
+		switch {
+		case c.Tiny:
+			name = "tiny"
+		case c.Large:
+			name = "large"
+		default:
+			name = scenario.DefaultName
+		}
+	}
+	return scenario.Resolve(name)
+}
+
+// flagSet reports whether the named flag was explicitly passed.
+func (c *Common) flagSet(name string) bool {
+	if c.fs == nil {
+		return false
+	}
+	set := false
+	c.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// ChaosSettings resolves the run's fault-injection profile and seed:
+// explicit -chaos/-chaos-seed flags win, unset flags fall back to the
+// scenario's chaos section.
+func (c *Common) ChaosSettings(sp *scenario.Spec) (profile string, seed int64) {
+	profile, seed = c.Chaos, c.ChaosSeed
+	if sp == nil {
+		return profile, seed
+	}
+	if !c.flagSet("chaos") && sp.Chaos.Profile != "" {
+		profile = sp.Chaos.Profile
+	}
+	if !c.flagSet("chaos-seed") {
+		seed = sp.Chaos.Seed
+	}
+	return profile, seed
+}
+
+// WorldConfig resolves the raw world config for commands that generate a
+// world directly instead of going through a Pipeline: the scenario's
+// topology, overridden by an explicit -tiny/-large scale.
+func (c *Common) WorldConfig() (inet.Config, error) {
+	sp, err := c.ScenarioSpec()
+	if err != nil {
+		return inet.Config{}, err
+	}
 	switch {
 	case c.Tiny:
-		return inet.TinyConfig(c.Seed)
+		return inet.TinyConfig(c.Seed), nil
 	case c.Large:
-		return inet.LargeConfig(c.Seed)
+		return inet.LargeConfig(c.Seed), nil
 	default:
-		return inet.DefaultConfig(c.Seed)
+		return inet.ConfigFromScenario(sp, c.Seed), nil
 	}
 }
 
@@ -83,7 +163,8 @@ func (c *Common) Logger(cmd string) *slog.Logger {
 }
 
 // Injector resolves -chaos/-chaos-seed to a fault injector (nil when off);
-// the error reports an unknown profile name.
+// the error reports an unknown profile name. Prefer InjectorFromSpec when a
+// scenario is in play — it applies the scenario's chaos section.
 func (c *Common) Injector() (*chaos.Injector, error) {
 	prof, err := chaos.ParseProfile(c.Chaos)
 	if err != nil {
@@ -92,14 +173,31 @@ func (c *Common) Injector() (*chaos.Injector, error) {
 	return chaos.New(prof, c.ChaosSeed), nil
 }
 
-// Pipeline builds the pipeline for the selected seed, scale, workers and
-// chaos profile. The error reports an invalid -chaos value.
-func (c *Common) Pipeline() (*offnetrisk.Pipeline, error) {
-	inj, err := c.Injector()
+// InjectorFromSpec resolves the chaos injector with the scenario's chaos
+// section as the fallback for unset flags.
+func (c *Common) InjectorFromSpec(sp *scenario.Spec) (*chaos.Injector, error) {
+	profile, seed := c.ChaosSettings(sp)
+	prof, err := chaos.ParseProfile(profile)
 	if err != nil {
 		return nil, err
 	}
-	p := offnetrisk.NewPipeline(c.Seed, c.Scale())
+	return chaos.New(prof, seed), nil
+}
+
+// Pipeline builds the pipeline for the selected scenario, seed, scale,
+// workers and chaos profile. The error reports a flag conflict, an
+// unresolvable -scenario, or an invalid -chaos value.
+func (c *Common) Pipeline() (*offnetrisk.Pipeline, error) {
+	sp, err := c.ScenarioSpec()
+	if err != nil {
+		return nil, err
+	}
+	inj, err := c.InjectorFromSpec(sp)
+	if err != nil {
+		return nil, err
+	}
+	p := offnetrisk.NewPipelineFromSpec(sp, c.Seed)
+	p.Scale = c.Scale()
 	p.Workers = c.Workers
 	p.Chaos = inj
 	return p, nil

@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"offnetrisk"
+	"offnetrisk/internal/scenario"
+)
+
+// parse registers the shared flags on a fresh FlagSet and parses args,
+// mirroring what every cmd/ main does.
+func parse(t *testing.T, args ...string) *Common {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return c
+}
+
+func TestTinyLargeConflict(t *testing.T) {
+	c := parse(t, "-tiny", "-large")
+	if _, err := c.ScenarioSpec(); err == nil {
+		t.Fatal("-tiny -large accepted; want a conflict error")
+	} else if !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("conflict error %q does not name the conflict", err)
+	}
+	// The same conflict must surface through Pipeline and WorldConfig too —
+	// commands call whichever fits, and all of them must refuse.
+	if _, err := c.Pipeline(); err == nil {
+		t.Fatal("Pipeline accepted -tiny -large")
+	}
+	if _, err := c.WorldConfig(); err == nil {
+		t.Fatal("WorldConfig accepted -tiny -large")
+	}
+}
+
+func TestScaleAliases(t *testing.T) {
+	cases := []struct {
+		args  []string
+		name  string
+		scale offnetrisk.Scale
+	}{
+		{nil, scenario.DefaultName, offnetrisk.ScaleDefault},
+		{[]string{"-tiny"}, "tiny", offnetrisk.ScaleTiny},
+		{[]string{"-large"}, "large", offnetrisk.ScaleLarge},
+		// An explicit -scenario keeps its own spec; the scale flag only
+		// overrides the topology.
+		{[]string{"-scenario", "ios-flash-crowd", "-tiny"}, "ios-flash-crowd", offnetrisk.ScaleTiny},
+	}
+	for _, tc := range cases {
+		c := parse(t, tc.args...)
+		sp, err := c.ScenarioSpec()
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if sp.Name != tc.name {
+			t.Errorf("%v: scenario %q, want %q", tc.args, sp.Name, tc.name)
+		}
+		if got := c.Scale(); got != tc.scale {
+			t.Errorf("%v: scale %v, want %v", tc.args, got, tc.scale)
+		}
+	}
+}
+
+func TestScenarioSpecUnknownName(t *testing.T) {
+	c := parse(t, "-scenario", "no-such-world")
+	if _, err := c.ScenarioSpec(); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+}
+
+func TestChaosSettingsFallback(t *testing.T) {
+	chaotic := scenario.MustLookup("ios-flash-crowd") // chaos {light, 7}
+	if chaotic.Chaos.Profile != "light" {
+		t.Fatalf("fixture drift: ios-flash-crowd chaos profile %q", chaotic.Chaos.Profile)
+	}
+
+	// Unset flags inherit the scenario's chaos section.
+	c := parse(t)
+	if prof, seed := c.ChaosSettings(chaotic); prof != "light" || seed != chaotic.Chaos.Seed {
+		t.Errorf("fallback = (%q, %d), want (light, %d)", prof, seed, chaotic.Chaos.Seed)
+	}
+
+	// Explicit flags win over the scenario.
+	c = parse(t, "-chaos", "off", "-chaos-seed", "99")
+	if prof, seed := c.ChaosSettings(chaotic); prof != "off" || seed != 99 {
+		t.Errorf("explicit flags = (%q, %d), want (off, 99)", prof, seed)
+	}
+
+	// Default scenario leaves the flag defaults untouched, so plain runs are
+	// byte-identical to the pre-scenario CLI.
+	c = parse(t)
+	if prof, seed := c.ChaosSettings(scenario.Default()); prof != "off" || seed != 7 {
+		t.Errorf("default scenario = (%q, %d), want (off, 7)", prof, seed)
+	}
+}
+
+func TestInjectorFromSpecRejectsBadProfile(t *testing.T) {
+	c := parse(t, "-chaos", "apocalyptic")
+	if _, err := c.InjectorFromSpec(scenario.Default()); err == nil {
+		t.Fatal("unknown chaos profile accepted")
+	}
+}
+
+func TestPipelineCarriesScenario(t *testing.T) {
+	c := parse(t, "-scenario", "meta-cdn", "-tiny", "-workers", "3")
+	p, err := c.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scenario().Name != "meta-cdn" {
+		t.Errorf("pipeline scenario %q, want meta-cdn", p.Scenario().Name)
+	}
+	if p.Scale != offnetrisk.ScaleTiny {
+		t.Errorf("pipeline scale %v, want tiny", p.Scale)
+	}
+	if p.Workers != 3 {
+		t.Errorf("pipeline workers %d, want 3", p.Workers)
+	}
+}

@@ -122,6 +122,14 @@ type ispScratch struct {
 // ISP and the per-ξ work is just the steepness extraction over the shared
 // ordering.
 func AnalyzeContext(ctx context.Context, w *inet.World, c *mlab.Campaign, xis []float64, workers int) (*Analysis, error) {
+	return AnalyzeMixContext(ctx, w, c, xis, workers, traffic.DefaultMix())
+}
+
+// AnalyzeMixContext is AnalyzeContext with traffic shares taken from the
+// given mix instead of the paper's constants, so scenario worlds report
+// facility shares consistent with their own traffic section.
+func AnalyzeMixContext(ctx context.Context, w *inet.World, c *mlab.Campaign, xis []float64, workers int, mix traffic.Mix) (*Analysis, error) {
+	mix = mix.Sanitized()
 	a := &Analysis{Xis: xis, PerISP: make(map[inet.ASN]*ISPResult)}
 	mISPsAnalyzed.Add(int64(len(c.ByISP)))
 	asns := make([]inet.ASN, 0, len(c.ByISP))
@@ -148,7 +156,7 @@ func AnalyzeContext(ctx context.Context, w *inet.World, c *mlab.Campaign, xis []
 			ord := sc.opt.Run(len(ms), sc.dm.At, 2, math.Inf(1))
 			for _, xi := range xis {
 				labels := ord.Labels(ord.ExtractXi(xi, 2))
-				res.PerXi[xi] = summarize(ms, labels)
+				res.PerXi[xi] = summarize(ms, labels, mix)
 			}
 			return res, nil
 		})
@@ -178,7 +186,7 @@ func hostedHGs(ms []*mlab.Measurement) []traffic.HG {
 }
 
 // summarize derives the per-ξ statistics from flat cluster labels.
-func summarize(ms []*mlab.Measurement, labels []int) *XiResult {
+func summarize(ms []*mlab.Measurement, labels []int, mix traffic.Mix) *XiResult {
 	r := &XiResult{
 		Labels:    labels,
 		ColocFrac: make(map[traffic.HG]float64),
@@ -238,7 +246,7 @@ func summarize(ms []*mlab.Measurement, labels []int) *XiResult {
 				list = append(list, hg)
 			}
 		}
-		share := traffic.CombinedFacilityShare(list)
+		share := mix.CombinedFacilityShare(list)
 		if len(list) > len(r.BestHGs) || (len(list) == len(r.BestHGs) && share > r.BestShare) {
 			r.BestHGs = list
 			r.BestShare = share
@@ -249,7 +257,7 @@ func summarize(ms []*mlab.Measurement, labels []int) *XiResult {
 	if r.BestHGs == nil && len(ms) > 0 {
 		best := ms[0].Target.HG
 		r.BestHGs = []traffic.HG{best}
-		r.BestShare = traffic.CombinedFacilityShare(r.BestHGs)
+		r.BestShare = mix.CombinedFacilityShare(r.BestHGs)
 	}
 
 	// Traffic concentration: one share per cluster (what its hypergiants
@@ -269,7 +277,7 @@ func summarize(ms []*mlab.Measurement, labels []int) *XiResult {
 				list = append(list, hg)
 			}
 		}
-		share := traffic.CombinedFacilityShare(list)
+		share := mix.CombinedFacilityShare(list)
 		shares = append(shares, share)
 		sum += share
 	}

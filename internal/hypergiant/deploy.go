@@ -30,6 +30,18 @@ type DeployConfig struct {
 	// AnycastFraction is the probability an address yields impossible
 	// latencies (1.9K/261K in the paper).
 	AnycastFraction float64
+	// Mix is the traffic mix demand is computed against; the zero Mix means
+	// the paper's published constants.
+	Mix traffic.Mix
+	// PNICapacityScale multiplies every private interconnect's capacity
+	// (scenario knob; 0 means the neutral 1.0).
+	PNICapacityScale float64
+	// TransitCoverageScale scales how many transit providers host offnets
+	// relative to the epoch's access coverage (0 means the default 0.8).
+	TransitCoverageScale float64
+	// Profiles overrides the hypergiants' deployment profiles; nil means the
+	// compiled-in Profiles().
+	Profiles map[traffic.HG]Profile
 }
 
 // DefaultDeployConfig returns the configuration used by the experiments.
@@ -56,6 +68,16 @@ func (c DeployConfig) sanitized() DeployConfig {
 	if c.AnycastFraction < 0 || c.AnycastFraction >= 1 {
 		c.AnycastFraction = 0.007
 	}
+	c.Mix = c.Mix.Sanitized()
+	if c.PNICapacityScale <= 0 {
+		c.PNICapacityScale = 1.0
+	}
+	if c.TransitCoverageScale <= 0 || c.TransitCoverageScale > 1 {
+		c.TransitCoverageScale = 0.8
+	}
+	if c.Profiles == nil {
+		c.Profiles = Profiles()
+	}
 	return c
 }
 
@@ -73,7 +95,7 @@ func Deploy(w *inet.World, epoch Epoch, cfg DeployConfig) (*Deployment, error) {
 		World:     w,
 		ContentAS: make(map[traffic.HG]inet.ASN),
 	}
-	profiles := Profiles()
+	profiles := cfg.Profiles
 
 	// Onnet content ASes, present at the biggest metros, members of the
 	// larger exchanges.
@@ -142,7 +164,7 @@ func Deploy(w *inet.World, epoch Epoch, cfg DeployConfig) (*Deployment, error) {
 	})
 	for _, hg := range traffic.All {
 		prof := profiles[hg]
-		n := int(math.Round(prof.Coverage[epoch] * 0.8 * float64(len(transits))))
+		n := int(math.Round(prof.Coverage[epoch] * cfg.TransitCoverageScale * float64(len(transits))))
 		if n > len(transits) {
 			n = len(transits)
 		}
@@ -226,7 +248,7 @@ func deployInISP(d *Deployment, prof Profile, isp *inet.ISP, demandUsers float64
 	w := d.World
 	r := rngutil.New(cfg.Seed ^ int64(isp.ASN)*31 ^ int64(prof.HG)*0x9e3779b9 ^ int64(d.Epoch))
 
-	demandGbps := demandUsers * prof.HG.Share() * cfg.PeakMbpsPerUser / 1000
+	demandGbps := demandUsers * cfg.Mix.Share(prof.HG) * cfg.PeakMbpsPerUser / 1000
 	nServers := int(math.Ceil(demandGbps / prof.ServerGbps))
 	if nServers < 1 {
 		nServers = 1
@@ -350,7 +372,7 @@ func buildPeerings(d *Deployment, cfg DeployConfig) {
 			if isp.Tier == inet.TierTransit {
 				users = w.DownstreamUsers(as) * 0.5
 			}
-			demandGbps := users * hg.Share() * cfg.PeakMbpsPerUser / 1000
+			demandGbps := users * cfg.Mix.Share(hg) * cfg.PeakMbpsPerUser / 1000
 
 			// Peering probability decays with size rank; calibrated so
 			// roughly half of hosting ISPs have some peering (§4.2.1 finds
@@ -375,11 +397,11 @@ func buildPeerings(d *Deployment, cfg DeployConfig) {
 			// Interconnects are sized against the interdomain share of
 			// demand — offnets absorb the cacheable part, so links carry
 			// the steady-state remainder plus whatever spills.
-			interdomain := demandGbps * hg.SteadyInterdomainShare()
+			interdomain := demandGbps * cfg.Mix.SteadyInterdomainShare(hg)
 			if wantPNI {
 				d.Peerings = append(d.Peerings, Peering{
 					HG: hg, ISP: as, Kind: PeerPNI,
-					CapacityGbps: pniCapacity(r, interdomain),
+					CapacityGbps: pniCapacity(r, interdomain) * cfg.PNICapacityScale,
 				})
 			}
 			if wantIXP {
@@ -411,11 +433,11 @@ func buildPeerings(d *Deployment, cfg DeployConfig) {
 				if !rngutil.Bernoulli(r, 0.75) {
 					continue
 				}
-				demand := isp.Users*hg.Share()*cfg.PeakMbpsPerUser/1000*hg.SteadyInterdomainShare() + 40
+				demand := isp.Users*cfg.Mix.Share(hg)*cfg.PeakMbpsPerUser/1000*cfg.Mix.SteadyInterdomainShare(hg) + 40
 				if rngutil.Bernoulli(r, 0.6) {
 					d.Peerings = append(d.Peerings, Peering{
 						HG: hg, ISP: isp.ASN, Kind: PeerPNI,
-						CapacityGbps: pniCapacity(r, demand),
+						CapacityGbps: pniCapacity(r, demand) * cfg.PNICapacityScale,
 					})
 				}
 				if len(shared) > 0 && rngutil.Bernoulli(r, 0.7) {
@@ -428,7 +450,7 @@ func buildPeerings(d *Deployment, cfg DeployConfig) {
 				if len(shared) == 0 || !rngutil.Bernoulli(r, 0.30) {
 					continue
 				}
-				demand := isp.Users * hg.Share() * cfg.PeakMbpsPerUser / 1000 * hg.SteadyInterdomainShare()
+				demand := isp.Users * cfg.Mix.Share(hg) * cfg.PeakMbpsPerUser / 1000 * cfg.Mix.SteadyInterdomainShare(hg)
 				d.Peerings = append(d.Peerings, Peering{
 					HG: hg, ISP: isp.ASN, Kind: PeerIXP, IXP: shared[r.Intn(len(shared))],
 					CapacityGbps: demand * rngutil.Jitter(r, 0.7, 0.4),

@@ -70,21 +70,23 @@ func TinyConfig(seed int64) Config {
 	}
 }
 
+// sanitized fills zero or nonsense fields with the TinyConfig values, so a
+// zero-valued Config and the tiny world agree field for field.
 func (c Config) sanitized() Config {
 	if c.AccessISPs <= 0 {
 		c.AccessISPs = 60
 	}
 	if c.TransitISPs <= 0 {
-		c.TransitISPs = 8
+		c.TransitISPs = 10
 	}
 	if c.Backbones <= 0 {
 		c.Backbones = 3
 	}
 	if c.IXPs <= 0 {
-		c.IXPs = 4
+		c.IXPs = 8
 	}
 	if c.TotalUsers <= 0 {
-		c.TotalUsers = 1e8
+		c.TotalUsers = 2.0e8
 	}
 	if c.ZipfExponent <= 0 {
 		c.ZipfExponent = 1.0

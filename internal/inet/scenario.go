@@ -1,0 +1,20 @@
+package inet
+
+import "offnetrisk/internal/scenario"
+
+// ConfigFromScenario builds the generation config a resolved spec's topology
+// section declares. With the registry's default/tiny/large scenarios it
+// equals DefaultConfig/TinyConfig/LargeConfig field for field.
+func ConfigFromScenario(sp *scenario.Spec, seed int64) Config {
+	t := sp.Topology
+	return Config{
+		Seed:            seed,
+		AccessISPs:      t.AccessISPs,
+		TransitISPs:     t.TransitISPs,
+		Backbones:       t.Backbones,
+		IXPs:            t.IXPs,
+		TotalUsers:      t.TotalUsers,
+		ZipfExponent:    t.ZipfExponent,
+		UsersPerSlash24: t.UsersPerSlash24,
+	}
+}

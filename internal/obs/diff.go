@@ -83,6 +83,12 @@ func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
 	if a.Scale != b.Scale {
 		r.driftf("scale: %q vs %q", a.Scale, b.Scale)
 	}
+	if a.Scenario != b.Scenario {
+		r.driftf("scenario: %q vs %q", a.Scenario, b.Scenario)
+	}
+	if a.ScenarioHash != b.ScenarioHash {
+		r.driftf("scenario hash: %q vs %q", a.ScenarioHash, b.ScenarioHash)
+	}
 	if a.ChaosProfile != b.ChaosProfile {
 		r.driftf("chaos profile: %q vs %q", a.ChaosProfile, b.ChaosProfile)
 	}

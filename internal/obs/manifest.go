@@ -19,6 +19,13 @@ type Manifest struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
+	// Scenario provenance (internal/scenario): the resolved scenario name and
+	// the SHA-256 of its canonical spec rendering, so a manifest pins exactly
+	// which declared world produced it. Both omitted when the run did not pass
+	// -scenario, keeping plain-run manifests byte-identical to pre-scenario
+	// ones.
+	Scenario     string `json:"scenario,omitempty"`
+	ScenarioHash string `json:"scenario_hash,omitempty"`
 	// StartedAt/WallMS describe the run itself, not the experiments: they
 	// vary run to run and are excluded from determinism comparisons.
 	StartedAt string                 `json:"started_at,omitempty"`

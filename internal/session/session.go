@@ -88,6 +88,9 @@ type Config struct {
 	// GOMAXPROCS. Each ISP already draws from its own seed-derived RNG
 	// stream, so sessions are identical at any worker count.
 	Workers int
+	// Mix is the traffic mix sessions are drawn against; the zero Mix means
+	// the paper's published constants.
+	Mix traffic.Mix
 }
 
 // DefaultConfig returns the simulation defaults.
@@ -113,6 +116,7 @@ func RunContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment
 	if cfg.CongestedRTTPenaltyMs <= 0 {
 		cfg.CongestedRTTPenaltyMs = 80
 	}
+	cfg.Mix = cfg.Mix.Sanitized()
 	w := d.World
 
 	// Index flows by (hg, isp).
@@ -153,7 +157,7 @@ func RunContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment
 			userLoc := isp.Metros[0].Loc
 			batch := make([]Session, 0, cfg.PerISP)
 			for i := 0; i < cfg.PerISP; i++ {
-				hg := pickHG(r)
+				hg := pickHG(r, cfg.Mix)
 				f, ok := flowOf[key{hg, as}]
 				if !ok || f.Demand <= 0 {
 					// The hypergiant has no local deployment: served onnet via
@@ -201,12 +205,16 @@ func RunContext(ctx context.Context, m *capacity.Model, d *hypergiant.Deployment
 	return out, nil
 }
 
-// pickHG draws a hypergiant proportional to traffic share.
-func pickHG(r interface{ Float64() float64 }) traffic.HG {
-	x := r.Float64() * (traffic.Google.Share() + traffic.Netflix.Share() +
-		traffic.Meta.Share() + traffic.Akamai.Share())
+// pickHG draws a hypergiant proportional to its traffic share under the
+// mix.
+func pickHG(r interface{ Float64() float64 }, mix traffic.Mix) traffic.HG {
+	var total float64
 	for _, hg := range traffic.All {
-		x -= hg.Share()
+		total += mix.Share(hg)
+	}
+	x := r.Float64() * total
+	for _, hg := range traffic.All {
+		x -= mix.Share(hg)
 		if x < 0 {
 			return hg
 		}

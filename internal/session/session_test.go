@@ -125,7 +125,7 @@ func TestPickHGDistribution(t *testing.T) {
 	r := newCounter()
 	counts := make(map[traffic.HG]int)
 	for i := 0; i < 40000; i++ {
-		counts[pickHG(r)]++
+		counts[pickHG(r, traffic.DefaultMix())]++
 	}
 	// Google's share (21%) is over double Netflix's (9%): the draw must
 	// reflect that ordering.

@@ -1,0 +1,129 @@
+package traffic
+
+// Mix parameterizes the published traffic constants so scenario specs can
+// declare alternative worlds (a Netflix-dominated regional peak, an iOS
+// flash crowd, a multi-CDN split). The zero Mix means "use the paper's
+// numbers": every consumer passes it through Sanitized, and DefaultMix
+// reproduces the HG methods bit for bit, so defaulted pipelines are
+// byte-identical to the constant-based code they replaced.
+type Mix struct {
+	// Shares is each hypergiant's fraction of total Internet traffic.
+	Shares [NumHG]float64
+	// OffnetFractions is the fraction of each hypergiant's traffic its
+	// offnets serve for covered clients.
+	OffnetFractions [NumHG]float64
+	// OffnetProvisioning is the economy-wide ratio of offnet capacity to
+	// the cacheable share of peak demand (SteadyOffnetProvisioning in the
+	// default world).
+	OffnetProvisioning float64
+}
+
+// DefaultMix returns the paper's published constants as a Mix.
+func DefaultMix() Mix {
+	m := Mix{OffnetProvisioning: SteadyOffnetProvisioning}
+	for _, h := range All {
+		m.Shares[h] = h.Share()
+		m.OffnetFractions[h] = h.OffnetFraction()
+	}
+	return m
+}
+
+// IsZero reports whether the mix carries no data (all shares unset).
+func (m Mix) IsZero() bool {
+	for _, s := range m.Shares {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sanitized replaces a zero mix with the default and fills an unset
+// provisioning ratio, mirroring the repo-wide zero-config convention.
+func (m Mix) Sanitized() Mix {
+	if m.IsZero() {
+		return DefaultMix()
+	}
+	if m.OffnetProvisioning <= 0 {
+		m.OffnetProvisioning = SteadyOffnetProvisioning
+	}
+	return m
+}
+
+// Share is the hypergiant's fraction of total Internet traffic under this
+// mix.
+func (m Mix) Share(h HG) float64 {
+	if h < 0 || h >= NumHG {
+		return 0
+	}
+	return m.Shares[h]
+}
+
+// OffnetFraction is the fraction of the hypergiant's traffic its offnets
+// serve under this mix.
+func (m Mix) OffnetFraction(h HG) float64 {
+	if h < 0 || h >= NumHG {
+		return 0
+	}
+	return m.OffnetFractions[h]
+}
+
+// SteadyInterdomainShare is the share of the hypergiant's peak demand
+// crossing interdomain links in steady state under this mix.
+func (m Mix) SteadyInterdomainShare(h HG) float64 {
+	return 1 - m.OffnetProvisioning*m.OffnetFraction(h)
+}
+
+// FacilityShare is the fraction of a user's total traffic a local offnet of
+// this hypergiant can serve under this mix.
+func (m Mix) FacilityShare(h HG) float64 {
+	return m.Share(h) * m.OffnetFraction(h)
+}
+
+// CombinedFacilityShare sums FacilityShare over a set of colocated
+// hypergiants, ignoring duplicates and out-of-range values.
+func (m Mix) CombinedFacilityShare(hgs []HG) float64 {
+	var total float64
+	seen := [NumHG]bool{}
+	for _, h := range hgs {
+		if h < 0 || h >= NumHG || seen[h] {
+			continue
+		}
+		seen[h] = true
+		total += m.FacilityShare(h)
+	}
+	return total
+}
+
+// ParseHG maps a lowercase hypergiant name ("google", "netflix", "meta",
+// "akamai") to its HG value.
+func ParseHG(name string) (HG, bool) {
+	switch name {
+	case "google":
+		return Google, true
+	case "netflix":
+		return Netflix, true
+	case "meta":
+		return Meta, true
+	case "akamai":
+		return Akamai, true
+	default:
+		return NumHG, false
+	}
+}
+
+// Key is the lowercase spec-file key for the hypergiant.
+func (h HG) Key() string {
+	switch h {
+	case Google:
+		return "google"
+	case Netflix:
+		return "netflix"
+	case Meta:
+		return "meta"
+	case Akamai:
+		return "akamai"
+	default:
+		return "hg?"
+	}
+}

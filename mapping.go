@@ -116,7 +116,7 @@ func (p *Pipeline) MitigationStudyContext(ctx context.Context) (*MitigationResul
 	if err != nil {
 		return nil, err
 	}
-	m := capacity.Build(d, capacity.DefaultConfig(p.Seed))
+	m := capacity.Build(d, capacity.ConfigFromScenario(p.spec(), p.Seed))
 	sctx, sp := p.spanCtx(ctx, "mitigation-study/sweep")
 	st, err := cascade.MitigationSweepContext(sctx, m, d, d.HostingISPs(), p.Workers)
 	if err != nil {

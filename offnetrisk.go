@@ -30,6 +30,7 @@ import (
 	"offnetrisk/internal/inet"
 	"offnetrisk/internal/obs"
 	"offnetrisk/internal/par"
+	"offnetrisk/internal/scenario"
 )
 
 // Scale selects how large a synthetic Internet the pipeline builds.
@@ -67,6 +68,14 @@ type Pipeline struct {
 	// funnel drop reason. See internal/chaos.
 	Chaos *chaos.Injector
 
+	// Spec is the resolved scenario the pipeline builds its world from; nil
+	// means the registry's default scenario (the paper's hard-coded world).
+	// At ScaleTiny/ScaleLarge the spec's topology section is overridden by
+	// the literal tiny/large topology, so `-scenario X -tiny` means
+	// "scenario X's deployments, traffic and measurements at test scale" —
+	// the combination the golden-gated scenario matrix runs.
+	Spec *scenario.Spec
+
 	// tracer records per-stage spans when instrumentation is attached via
 	// Instrument; nil (the default) disables tracing at zero cost. Tracing
 	// never feeds back into experiment results, so instrumented and plain
@@ -78,7 +87,8 @@ type Pipeline struct {
 	deps   map[hypergiant.Epoch]*hypergiant.Deployment
 }
 
-// NewPipeline creates a pipeline for the given seed and scale.
+// NewPipeline creates a pipeline for the given seed and scale, running the
+// default scenario.
 func NewPipeline(seed int64, scale Scale) *Pipeline {
 	return &Pipeline{
 		Seed:   seed,
@@ -87,6 +97,28 @@ func NewPipeline(seed int64, scale Scale) *Pipeline {
 		deps:   make(map[hypergiant.Epoch]*hypergiant.Deployment),
 	}
 }
+
+// NewPipelineFromSpec creates a pipeline running a resolved scenario at
+// ScaleDefault (the spec's own topology). Combine with Scale overrides via
+// the struct field if test-scale runs of the scenario are wanted.
+func NewPipelineFromSpec(sp *scenario.Spec, seed int64) *Pipeline {
+	p := NewPipeline(seed, ScaleDefault)
+	p.Spec = sp
+	return p
+}
+
+// spec returns the pipeline's scenario, defaulting to the registry's
+// default world.
+func (p *Pipeline) spec() *scenario.Spec {
+	if p.Spec != nil {
+		return p.Spec
+	}
+	return scenario.Default()
+}
+
+// Scenario exposes the resolved scenario the pipeline runs (never nil), so
+// commands that drive measurement stages directly share the same spec.
+func (p *Pipeline) Scenario() *scenario.Spec { return p.spec() }
 
 // Instrument attaches a span tracer; every experiment method then records a
 // root span over its internal stages, and the chaos injector (if any) gains
@@ -129,6 +161,9 @@ func (s Scale) String() string {
 	}
 }
 
+// worldConfig resolves the topology: explicit tiny/large scales override
+// the spec's topology section with the literal test/large worlds, so every
+// scenario can run golden-gated at test scale.
 func (p *Pipeline) worldConfig() inet.Config {
 	switch p.Scale {
 	case ScaleTiny:
@@ -136,7 +171,7 @@ func (p *Pipeline) worldConfig() inet.Config {
 	case ScaleLarge:
 		return inet.LargeConfig(p.Seed)
 	default:
-		return inet.DefaultConfig(p.Seed)
+		return inet.ConfigFromScenario(p.spec(), p.Seed)
 	}
 }
 
@@ -152,7 +187,7 @@ func (p *Pipeline) deployment(epoch hypergiant.Epoch) (*inet.World, *hypergiant.
 	sp := p.span(fmt.Sprintf("world/build-%d", epoch))
 	defer sp.End()
 	w := inet.Generate(p.worldConfig())
-	d, err := hypergiant.Deploy(w, epoch, hypergiant.DefaultDeployConfig(p.Seed))
+	d, err := hypergiant.Deploy(w, epoch, hypergiant.DeployConfigFromScenario(p.spec(), p.Seed))
 	if err != nil {
 		return nil, nil, fmt.Errorf("offnetrisk: deploy epoch %d: %w", epoch, err)
 	}

@@ -74,7 +74,7 @@ func (p *Pipeline) PeeringSurveyForContext(ctx context.Context, hg traffic.HG) (
 	if err != nil {
 		return nil, err
 	}
-	cfg := tracert.DefaultConfig(p.Seed)
+	cfg := tracert.ConfigFromScenario(p.spec(), p.Seed)
 	cfg.Workers = p.Workers
 	cfg.Chaos = p.Chaos
 	if p.Scale == ScaleTiny {
