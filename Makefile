@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios check-shards
 
 build:
 	$(GO) build ./...
@@ -60,8 +60,9 @@ profile:
 # race-obs runs first so concurrency regressions in the observability and
 # parallel substrates fail fast, before the full race suite; perf-gate is
 # pure file analysis; check-scenarios proves every named scenario still
-# reproduces its committed golden manifest.
-check: build vet race-obs race perf-gate check-scenarios
+# reproduces its committed golden manifest; check-shards proves -shards is
+# output-invariant and the huge tier generates and streams.
+check: build vet race-obs race perf-gate check-scenarios check-shards
 
 # Full reproduction report with provenance manifest.
 report:
@@ -118,6 +119,19 @@ check-scenarios:
 			-out /tmp/scenario-$$s -manifest /tmp/scenario-$$s/manifest.json || exit 1; \
 		$(GO) run ./cmd/runsdiff out/golden_scenario_$$s.json /tmp/scenario-$$s/manifest.json || exit 1; \
 	done
+
+# Shard gate, two halves. (1) Output-invariance: the golden tiny reproduce
+# re-run with -shards 4 must still match the committed golden manifest — if
+# the shard knob ever leaks into results, this catches it against the same
+# reference runs-diff uses. (2) Huge smoke: generate the huge tier
+# (generation only, no deployment), spill it to a snapshot, and stream it
+# back — bounded wall-clock proof that 50k+-entity worlds build and load.
+check-shards:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -shards 4 -out /tmp/sharddiff-out -manifest /tmp/sharddiff-out/manifest.json
+	$(GO) run ./cmd/runsdiff out/golden_manifest.json /tmp/sharddiff-out/manifest.json
+	@rm -f /tmp/huge-smoke.ofnw
+	$(GO) run ./cmd/offnetgen -scenario huge -seed 42 -gen-only -snapshot /tmp/huge-smoke.ofnw
+	$(GO) run ./cmd/offnetgen -scenario huge -seed 42 -gen-only -snapshot /tmp/huge-smoke.ofnw
 
 # Regenerate the per-scenario golden manifests (same rules as `make golden`:
 # commit the results and say why in the commit message).

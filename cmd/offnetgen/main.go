@@ -49,7 +49,8 @@ func main() {
 	common := cli.Register(flag.CommandLine)
 	epoch := flag.Int("epoch", 2023, "deployment epoch (2021 or 2023)")
 	summary := flag.Bool("summary", false, "print a short summary instead of JSON")
-	snapshot := flag.Bool("snapshot", false, "emit a loadable world snapshot (inet.RestoreJSON format) instead of the flat dump")
+	jsonSnapshot := flag.Bool("json-snapshot", false, "emit a loadable world snapshot (inet.RestoreJSON format) instead of the flat dump")
+	genOnly := flag.Bool("gen-only", false, "generate (or stream) the world and print its summary without deploying offnets — the huge-tier smoke path")
 	flag.Parse()
 
 	if common.HandleScenarioList() {
@@ -81,14 +82,26 @@ func main() {
 	if err != nil {
 		fatal("invalid flags", err)
 	}
-	w := inet.Generate(wcfg)
-	logger.Debug("world generated", "isps", len(w.ISPs), "facilities", len(w.Facilities), "scenario", sp.Name)
+	w, fromDisk, err := inet.LoadOrGenerate(common.Snapshot, wcfg, sp.Hash())
+	if err != nil {
+		fatal("world build failed", err)
+	}
+	logger.Debug("world ready", "isps", len(w.ISPs), "facilities", len(w.Facilities),
+		"scenario", sp.Name, "streamed", fromDisk)
+
+	if *genOnly {
+		fmt.Printf("world seed=%d scenario=%s streamed=%v: %d ISPs (%d access), %d facilities, %d IXPs, %.2fB users\n",
+			common.Seed, sp.Name, fromDisk, len(w.ISPs), len(w.AccessISPs()), len(w.Facilities), len(w.IXPs),
+			w.TotalUsers()/1e9)
+		return
+	}
+
 	d, err := hypergiant.Deploy(w, hypergiant.Epoch(*epoch), hypergiant.DeployConfigFromScenario(sp, common.Seed))
 	if err != nil {
 		fatal("deploy failed", err)
 	}
 
-	if *snapshot {
+	if *jsonSnapshot {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(w); err != nil {

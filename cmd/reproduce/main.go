@@ -324,6 +324,7 @@ func main() {
 				m.Scenario = p.Scenario().Name
 				m.ScenarioHash = p.Scenario().Hash()
 			}
+			m.Snapshot = common.Snapshot
 			chaos.Annotate(m, p.Chaos, chaos.DefaultThresholds())
 			if err := m.WriteFile(*manifestPath); err != nil {
 				return err

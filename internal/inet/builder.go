@@ -15,7 +15,8 @@ func (w *World) AddContentAS(name string, metros []geo.Metro, n24 int) (ASN, err
 	if _, exists := w.ISPs[as]; exists {
 		return 0, fmt.Errorf("inet: ASN %d already exists", as)
 	}
-	isp := &ISP{
+	isp := w.isps.Get()
+	*isp = ISP{
 		ASN:     as,
 		Name:    name,
 		Country: "US",
@@ -27,6 +28,9 @@ func (w *World) AddContentAS(name string, metros []geo.Metro, n24 int) (ASN, err
 		return 0, fmt.Errorf("inet: content pool exhausted for %s", name)
 	}
 	w.ISPs[as] = isp
+	// Re-sort the announcement index so OwnerOf sees the new space; content
+	// prefixes sort below ISP space, so this cannot be a plain append.
+	w.finalize()
 	return as, nil
 }
 

@@ -49,6 +49,7 @@ func TestConfigFromScenario(t *testing.T) {
 		{"default", DefaultConfig(42)},
 		{"tiny", TinyConfig(42)},
 		{"large", LargeConfig(42)},
+		{"huge", HugeConfig(42)},
 	}
 	for _, tc := range cases {
 		sp := scenario.MustLookup(tc.scenario)

@@ -28,21 +28,24 @@ const (
 )
 
 // Generate builds a synthetic Internet from the configuration.
+//
+// Two builders exist behind this one entry point. The legacy sequential
+// builder (Sharded false, the default) draws from a single RNG stream and is
+// bit-identical to the original generator — every committed golden manifest
+// depends on that. The sharded builder (Sharded true, selected by a
+// scenario's topology, e.g. `huge`) derives an independent substream per
+// entity and builds shards in parallel; its output is invariant to both the
+// shard count and the worker count. See DESIGN.md §12.
 func Generate(cfg Config) *World {
 	cfg = cfg.sanitized()
+	if cfg.Sharded {
+		return generateSharded(cfg)
+	}
 	r := rngutil.New(cfg.Seed)
 
-	w := &World{
-		Seed:        cfg.Seed,
-		ISPs:        make(map[ASN]*ISP),
-		Facilities:  make(map[FacilityID]*Facility),
-		IXPs:        make(map[IXPID]*IXP),
-		PrefixOwner: make(map[netaddr.Prefix]ASN),
-		ispPool:     netaddr.NewPool(netaddr.MustPrefix("16.0.0.0/4")),
-		contentPool: netaddr.NewPool(netaddr.MustPrefix("8.0.0.0/9")),
-		ixpPool:     netaddr.NewPool(netaddr.MustPrefix("198.32.0.0/13")),
-		hostNext:    make(map[ASN]uint64),
-	}
+	w := newWorld(cfg.Seed)
+	w.isps.Reserve(cfg.Backbones + cfg.TransitISPs + cfg.AccessISPs)
+	w.facs.Reserve(2*cfg.TransitISPs + 2*cfg.AccessISPs)
 
 	countries := geo.Countries()
 
@@ -58,9 +61,24 @@ func Generate(cfg Config) *World {
 	w.genIXPs(cfg, r)
 	w.genTransits(cfg, r, countries, countryWeight)
 	w.genAccess(cfg, r, countries, countryWeight)
+	w.finalize()
 	mWorldsGenerated.Inc()
 	mISPsGenerated.Add(int64(len(w.ISPs)))
 	return w
+}
+
+// newWorld returns an empty world with fresh allocation pools.
+func newWorld(seed int64) *World {
+	return &World{
+		Seed:        seed,
+		ISPs:        make(map[ASN]*ISP),
+		Facilities:  make(map[FacilityID]*Facility),
+		IXPs:        make(map[IXPID]*IXP),
+		ispPool:     netaddr.NewPool(netaddr.MustPrefix("16.0.0.0/4")),
+		contentPool: netaddr.NewPool(netaddr.MustPrefix("8.0.0.0/9")),
+		ixpPool:     netaddr.NewPool(netaddr.MustPrefix("198.32.0.0/13")),
+		hostNext:    make(map[ASN]uint64),
+	}
 }
 
 func (w *World) genBackbones(cfg Config, r *rand.Rand) {
@@ -73,7 +91,8 @@ func (w *World) genBackbones(cfg Config, r *rand.Rand) {
 		for _, j := range idx {
 			metros = append(metros, geo.Metros[j])
 		}
-		isp := &ISP{
+		isp := w.isps.Get()
+		*isp = ISP{
 			ASN:     as,
 			Name:    fmt.Sprintf("backbone-%d", i+1),
 			Country: metros[0].Country,
@@ -85,10 +104,11 @@ func (w *World) genBackbones(cfg Config, r *rand.Rand) {
 	}
 }
 
-func (w *World) genIXPs(cfg Config, r *rand.Rand) {
-	// Exchanges must cover the globe the way real interconnection hubs do:
-	// pick metros round-robin across countries (each country's first metro
-	// first), so even small worlds have exchanges on every continent.
+// ixpMetroOrder returns metro indices round-robin across countries (each
+// country's first metro first), so even small worlds place exchanges on
+// every continent the way real interconnection hubs cluster. Shared by both
+// builders.
+func ixpMetroOrder() []int {
 	byCountry := make(map[string][]int)
 	for i, m := range geo.Metros {
 		byCountry[m.Country] = append(byCountry[m.Country], i)
@@ -107,6 +127,11 @@ func (w *World) genIXPs(cfg Config, r *rand.Rand) {
 			break
 		}
 	}
+	return order
+}
+
+func (w *World) genIXPs(cfg Config, r *rand.Rand) {
+	order := ixpMetroOrder()
 	n := cfg.IXPs
 	if n > len(order) {
 		n = len(order)
@@ -166,7 +191,8 @@ func (w *World) genTransits(cfg Config, r *rand.Rand, countries []string, weight
 		for _, j := range idx {
 			metros = append(metros, geo.Metros[j])
 		}
-		isp := &ISP{
+		isp := w.isps.Get()
+		*isp = ISP{
 			ASN:     as,
 			Name:    fmt.Sprintf("transit-%s-%d", cc, i+1),
 			Country: cc,
@@ -193,13 +219,15 @@ func (w *World) genTransits(cfg Config, r *rand.Rand, countries []string, weight
 		for k := 0; k < nf; k++ {
 			m := metros[k%len(metros)]
 			fid++
-			w.Facilities[fid] = &Facility{
+			f := w.facs.Get()
+			*f = Facility{
 				ID:    fid,
 				Owner: as,
 				Metro: m,
 				Loc:   jitterLoc(r, m.Loc, 0.15),
 				Racks: rngutil.IntBetween(r, 8, 40),
 			}
+			w.Facilities[fid] = f
 			isp.Facilities = append(isp.Facilities, fid)
 		}
 	}
@@ -240,7 +268,8 @@ func (w *World) genAccess(cfg Config, r *rand.Rand, countries []string, weight [
 		for _, j := range idx {
 			metros = append(metros, home[j])
 		}
-		isp := &ISP{
+		isp := w.isps.Get()
+		*isp = ISP{
 			ASN:     as,
 			Name:    fmt.Sprintf("access-%s-%d", cc, i+1),
 			Country: cc,
@@ -286,13 +315,15 @@ func (w *World) genAccess(cfg Config, r *rand.Rand, countries []string, weight [
 			}
 			for k := 0; k <= extra; k++ {
 				fid++
-				w.Facilities[fid] = &Facility{
+				f := w.facs.Get()
+				*f = Facility{
 					ID:    fid,
 					Owner: as,
 					Metro: m,
 					Loc:   jitterLoc(r, m.Loc, 0.15),
 					Racks: rngutil.IntBetween(r, 4, 40),
 				}
+				w.Facilities[fid] = f
 				isp.Facilities = append(isp.Facilities, fid)
 			}
 		}
@@ -381,9 +412,7 @@ func (w *World) allocPrefixes(isp *ISP, n24 int, pool *netaddr.Pool) {
 			return // address space exhausted; generation proceeds degraded
 		}
 		isp.Prefixes = append(isp.Prefixes, p)
-		for _, s := range p.Slash24s() {
-			w.PrefixOwner[s] = isp.ASN
-		}
+		w.registerOwner(p.First(), p.Last(), isp.ASN)
 	}
 }
 
@@ -392,11 +421,4 @@ func jitterLoc(r *rand.Rand, p geo.Point, deg float64) geo.Point {
 		LatDeg: p.LatDeg + (r.Float64()*2-1)*deg,
 		LonDeg: p.LonDeg + (r.Float64()*2-1)*deg,
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

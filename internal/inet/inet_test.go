@@ -109,15 +109,23 @@ func TestPrefixOwnershipConsistent(t *testing.T) {
 	for _, isp := range w.ISPList() {
 		for _, p := range isp.Prefixes {
 			for _, s := range p.Slash24s() {
-				owner, ok := w.PrefixOwner[s]
-				if !ok {
-					t.Fatalf("%s: /24 %s unowned", isp.Name, s)
-				}
-				if owner != isp.ASN {
-					t.Fatalf("%s: /24 %s owned by AS %d", isp.Name, s, owner)
+				// Both edges of every /24 must resolve through the interval
+				// index to the announcing AS.
+				for _, addr := range []netaddr.Addr{s.First(), s.Last()} {
+					owner, ok := w.OwnerOf(addr)
+					if !ok {
+						t.Fatalf("%s: address %s in announced /24 %s unowned", isp.Name, addr, s)
+					}
+					if owner != isp.ASN {
+						t.Fatalf("%s: address %s owned by AS %d", isp.Name, addr, owner)
+					}
 				}
 			}
 		}
+	}
+	// Addresses outside every announcement stay unrouted.
+	if _, ok := w.OwnerOf(netaddr.MustPrefix("1.2.3.0/24").First()); ok {
+		t.Error("unannounced address resolved to an owner")
 	}
 }
 

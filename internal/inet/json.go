@@ -111,13 +111,14 @@ func (w *World) MarshalJSON() ([]byte, error) {
 // announced prefix so further allocations never collide.
 func Restore(s *Snapshot) (*World, error) {
 	w := &World{
-		Seed:        s.Seed,
-		ISPs:        make(map[ASN]*ISP, len(s.ISPs)),
-		Facilities:  make(map[FacilityID]*Facility, len(s.Facilities)),
-		IXPs:        make(map[IXPID]*IXP, len(s.IXPs)),
-		PrefixOwner: make(map[netaddr.Prefix]ASN),
-		hostNext:    make(map[ASN]uint64, len(s.HostNext)),
+		Seed:       s.Seed,
+		ISPs:       make(map[ASN]*ISP, len(s.ISPs)),
+		Facilities: make(map[FacilityID]*Facility, len(s.Facilities)),
+		IXPs:       make(map[IXPID]*IXP, len(s.IXPs)),
+		hostNext:   make(map[ASN]uint64, len(s.HostNext)),
 	}
+	w.isps.Reserve(len(s.ISPs))
+	w.facs.Reserve(len(s.Facilities))
 	for as, n := range s.HostNext {
 		w.hostNext[ASN(as)] = n
 	}
@@ -132,7 +133,8 @@ func Restore(s *Snapshot) (*World, error) {
 
 	var maxISP, maxContent, maxIXP netaddr.Addr
 	for _, is := range s.ISPs {
-		isp := &ISP{
+		isp := w.isps.Get()
+		*isp = ISP{
 			ASN: ASN(is.ASN), Name: is.Name, Country: is.Country,
 			Tier: Tier(is.Tier), Users: is.Users,
 		}
@@ -149,9 +151,7 @@ func Restore(s *Snapshot) (*World, error) {
 				return nil, fmt.Errorf("inet: ISP %s: %w", is.Name, err)
 			}
 			isp.Prefixes = append(isp.Prefixes, p)
-			for _, s24 := range p.Slash24s() {
-				w.PrefixOwner[s24] = isp.ASN
-			}
+			w.registerOwner(p.First(), p.Last(), isp.ASN)
 			if isp.Tier == TierContent {
 				if p.Last() > maxContent {
 					maxContent = p.Last()
@@ -176,10 +176,12 @@ func Restore(s *Snapshot) (*World, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Facilities[FacilityID(fs.ID)] = &Facility{
+		f := w.facs.Get()
+		*f = Facility{
 			ID: FacilityID(fs.ID), Owner: ASN(fs.Owner), Metro: m,
 			Loc: geo.Point{LatDeg: fs.Lat, LonDeg: fs.Lon}, Racks: fs.Racks,
 		}
+		w.Facilities[f.ID] = f
 	}
 	for _, xs := range s.IXPs {
 		m, err := metro(xs.Metro)
@@ -212,6 +214,7 @@ func Restore(s *Snapshot) (*World, error) {
 	w.ispPool = restoredPool("16.0.0.0/4", maxISP)
 	w.contentPool = restoredPool("8.0.0.0/9", maxContent)
 	w.ixpPool = restoredPool("198.32.0.0/13", maxIXP)
+	w.finalize()
 	return w, nil
 }
 

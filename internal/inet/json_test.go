@@ -46,9 +46,14 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("AS%d differs after restore", as)
 		}
 	}
-	// Prefix ownership mapping fully rebuilt.
-	if len(r.PrefixOwner) != len(w.PrefixOwner) {
-		t.Fatalf("prefix owners: %d vs %d", len(r.PrefixOwner), len(w.PrefixOwner))
+	// Prefix ownership index fully rebuilt: every announced prefix resolves
+	// to the same AS through the restored world.
+	for _, isp := range w.ISPList() {
+		for _, p := range isp.Prefixes {
+			if owner, ok := r.OwnerOf(p.First()); !ok || owner != isp.ASN {
+				t.Fatalf("restored OwnerOf(%s) = %d,%v, want %d", p, owner, ok, isp.ASN)
+			}
+		}
 	}
 	// Fabric addresses intact.
 	for id, x := range w.IXPs {

@@ -3,8 +3,8 @@ package inet
 import "offnetrisk/internal/scenario"
 
 // ConfigFromScenario builds the generation config a resolved spec's topology
-// section declares. With the registry's default/tiny/large scenarios it
-// equals DefaultConfig/TinyConfig/LargeConfig field for field.
+// section declares. With the registry's default/tiny/large/huge scenarios it
+// equals DefaultConfig/TinyConfig/LargeConfig/HugeConfig field for field.
 func ConfigFromScenario(sp *scenario.Spec, seed int64) Config {
 	t := sp.Topology
 	return Config{
@@ -16,5 +16,6 @@ func ConfigFromScenario(sp *scenario.Spec, seed int64) Config {
 		TotalUsers:      t.TotalUsers,
 		ZipfExponent:    t.ZipfExponent,
 		UsersPerSlash24: t.UsersPerSlash24,
+		Sharded:         t.Sharded,
 	}
 }

@@ -123,16 +123,72 @@ type ISP struct {
 // IsAccess reports whether the ISP is an eyeball/access network.
 func (i *ISP) IsAccess() bool { return i.Tier == TierAccess }
 
+// ownerSpan is one contiguous run of announced address space and its origin
+// AS. The sorted span table is the interval-indexed form of the "IP-to-ISP
+// mapping" role PeeringDB/Euro-IX + routing data play in the paper's
+// traceroute methodology: at huge scale it replaces a per-/24 map (hundreds
+// of thousands of entries) with one entry per contiguous announcement.
+type ownerSpan struct {
+	first, last netaddr.Addr
+	as          ASN
+}
+
+// fabricSpan is the interval-index entry for one IXP fabric, so IXPOf is a
+// binary search instead of a sorted scan over all exchanges per lookup.
+type fabricSpan struct {
+	first, last netaddr.Addr
+	id          IXPID
+}
+
+// slab is a chunked arena of pointer-stable slots: Get never moves existing
+// elements (growth allocates a fresh block rather than reallocating), so the
+// World maps can point into it while generation keeps appending. It cuts
+// entity allocation from one per ISP/facility to one per block.
+type slab[T any] struct {
+	block []T
+	size  int
+}
+
+// Reserve sizes the next block for n upcoming slots (a hint, not a cap).
+func (s *slab[T]) Reserve(n int) {
+	if n > s.size {
+		s.size = n
+	}
+}
+
+// Get returns a zeroed, pointer-stable slot.
+func (s *slab[T]) Get() *T {
+	if len(s.block) == cap(s.block) {
+		n := s.size
+		if n < 256 {
+			n = 256
+		}
+		s.block = make([]T, 0, n)
+		s.size = 0
+	}
+	s.block = s.block[:len(s.block)+1]
+	return &s.block[len(s.block)-1]
+}
+
 // World is the complete synthetic Internet.
 type World struct {
 	Seed       int64
 	ISPs       map[ASN]*ISP
 	Facilities map[FacilityID]*Facility
 	IXPs       map[IXPID]*IXP
-	// PrefixOwner maps every announced prefix to its origin AS, the
-	// "IP-to-ISP mapping" role PeeringDB/Euro-IX + routing data play in the
-	// paper's traceroute methodology.
-	PrefixOwner map[netaddr.Prefix]ASN
+
+	// owners is the sorted interval index behind OwnerOf: every announced
+	// prefix contributes one contiguous [first,last] span. Mutation paths
+	// (generation, Restore, AddContentAS) append and then finalize; lookups
+	// never sort, so concurrent measurement stages read race-free.
+	owners []ownerSpan
+	// fabrics is the sorted interval index behind IXPOf.
+	fabrics []fabricSpan
+
+	// Entity slabs: ISPs and Facilities are values in chunked arenas; the
+	// maps above hold pointers into them.
+	isps slab[ISP]
+	facs slab[Facility]
 
 	// Allocation state, used after generation to place content (hypergiant)
 	// ASes and to carve server addresses out of ISP space.
@@ -140,6 +196,24 @@ type World struct {
 	contentPool *netaddr.Pool
 	ixpPool     *netaddr.Pool
 	hostNext    map[ASN]uint64
+}
+
+// registerOwner records one contiguous announcement for the interval index.
+// finalize must run before lookups.
+func (w *World) registerOwner(first, last netaddr.Addr, as ASN) {
+	w.owners = append(w.owners, ownerSpan{first: first, last: last, as: as})
+}
+
+// finalize sorts the interval indexes. Every mutation path (Generate,
+// Restore, AddContentAS) calls it eagerly before returning, so OwnerOf and
+// IXPOf are pure reads — safe under the parallel measurement stages.
+func (w *World) finalize() {
+	sort.Slice(w.owners, func(i, j int) bool { return w.owners[i].first < w.owners[j].first })
+	w.fabrics = w.fabrics[:0]
+	for _, x := range w.IXPs {
+		w.fabrics = append(w.fabrics, fabricSpan{first: x.Fabric.First(), last: x.Fabric.Last(), id: x.ID})
+	}
+	sort.Slice(w.fabrics, func(i, j int) bool { return w.fabrics[i].first < w.fabrics[j].first })
 }
 
 // ISPList returns all ISPs ordered by ASN for deterministic iteration.
@@ -183,30 +257,34 @@ func (w *World) IXPList() []*IXP {
 	return out
 }
 
-// OwnerOf returns the AS announcing the /24 containing addr, or false when
-// the address is unrouted. IXP fabric addresses belong to no AS (they are
-// deliberately absent, as in the real Internet where fabric space is not
-// globally announced) and resolve via IXPOf instead.
+// OwnerOf returns the AS announcing the address space containing addr, or
+// false when the address is unrouted. IXP fabric addresses belong to no AS
+// (they are deliberately absent, as in the real Internet where fabric space
+// is not globally announced) and resolve via IXPOf instead. Lookup is a
+// binary search over the sorted announcement spans.
 func (w *World) OwnerOf(addr netaddr.Addr) (ASN, bool) {
-	as, ok := w.PrefixOwner[addr.Slash24()]
-	return as, ok
+	i := sort.Search(len(w.owners), func(i int) bool { return w.owners[i].last >= addr })
+	if i < len(w.owners) && w.owners[i].first <= addr {
+		return w.owners[i].as, true
+	}
+	return 0, false
 }
 
 // IXPOf returns the IXP whose fabric contains addr, and the member AS using
-// that fabric address, if any.
+// that fabric address, if any. Fabric containment is a binary search over
+// the sorted fabric spans.
 func (w *World) IXPOf(addr netaddr.Addr) (*IXP, ASN, bool) {
-	for _, x := range w.IXPList() {
-		if !x.Fabric.Contains(addr) {
-			continue
-		}
-		for as, a := range x.MemberAddr {
-			if a == addr {
-				return x, as, true
-			}
-		}
-		return x, 0, false
+	i := sort.Search(len(w.fabrics), func(i int) bool { return w.fabrics[i].last >= addr })
+	if i >= len(w.fabrics) || w.fabrics[i].first > addr {
+		return nil, 0, false
 	}
-	return nil, 0, false
+	x := w.IXPs[w.fabrics[i].id]
+	for as, a := range x.MemberAddr {
+		if a == addr {
+			return x, as, true
+		}
+	}
+	return x, 0, false
 }
 
 // UsersInISPs sums the user population of the given set of ASNs.

@@ -89,6 +89,12 @@ func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
 	if a.ScenarioHash != b.ScenarioHash {
 		r.driftf("scenario hash: %q vs %q", a.ScenarioHash, b.ScenarioHash)
 	}
+	// The snapshot path is machine-local provenance, not result content:
+	// streamed and freshly synthesized worlds are byte-identical, so a path
+	// difference alone is informational.
+	if a.Snapshot != b.Snapshot {
+		r.infof("snapshot path: %q vs %q (world provenance only)", a.Snapshot, b.Snapshot)
+	}
 	if a.ChaosProfile != b.ChaosProfile {
 		r.driftf("chaos profile: %q vs %q", a.ChaosProfile, b.ChaosProfile)
 	}

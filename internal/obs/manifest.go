@@ -26,6 +26,10 @@ type Manifest struct {
 	// ones.
 	Scenario     string `json:"scenario,omitempty"`
 	ScenarioHash string `json:"scenario_hash,omitempty"`
+	// Snapshot is the world-snapshot file the run spilled to or streamed
+	// from (-snapshot); omitted when the world was synthesized in memory,
+	// keeping snapshot-free manifests byte-identical to earlier ones.
+	Snapshot string `json:"snapshot,omitempty"`
 	// StartedAt/WallMS describe the run itself, not the experiments: they
 	// vary run to run and are excluded from determinism comparisons.
 	StartedAt string                 `json:"started_at,omitempty"`

@@ -96,6 +96,16 @@ func registry() map[string]*Spec {
 	}
 	specs[tiny.Name] = tiny
 
+	huge := defaultSpec()
+	huge.Name = "huge"
+	huge.Description = "the default world at 50x+ scale, built by the sharded streaming generator; spill to a snapshot with -snapshot"
+	huge.Topology = Topology{
+		AccessISPs: 48000, TransitISPs: 2400, Backbones: 64, IXPs: 720,
+		TotalUsers: 5.0e9, ZipfExponent: 1.05, UsersPerSlash24: 8000,
+		Sharded: true,
+	}
+	specs[huge.Name] = huge
+
 	large := defaultSpec()
 	large.Name = "large"
 	large.Description = "the default world sized closer to the paper's datasets (the world behind -large)"

@@ -54,6 +54,12 @@ type Topology struct {
 	TotalUsers      float64 `json:"total_users"`
 	ZipfExponent    float64 `json:"zipf_exponent"`
 	UsersPerSlash24 float64 `json:"users_per_slash24"`
+	// Sharded selects the shard-composed streaming world builder (the huge
+	// tier's generator). Part of the world definition — flipping it changes
+	// the world's bytes, so it lives in the hashed topology section.
+	// omitempty keeps every existing spec's canonical form, and therefore
+	// its hash, unchanged.
+	Sharded bool `json:"sharded,omitempty"`
 }
 
 // Deployment declares the hypergiants' deployment strategy: the global

@@ -109,6 +109,42 @@ func TestHashStability(t *testing.T) {
 	}
 }
 
+// TestShardedTopologyField: the sharded flag is part of the hashed world
+// definition, but its omitempty encoding keeps every pre-existing spec's
+// canonical form — and therefore the committed golden hashes — unchanged.
+func TestShardedTopologyField(t *testing.T) {
+	def, err := MustLookup(DefaultName).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(def), `"sharded"`) {
+		t.Fatal("default canonical form mentions sharded: existing scenario hashes would drift")
+	}
+
+	huge := MustLookup("huge")
+	if !huge.Topology.Sharded {
+		t.Fatal("huge scenario is not sharded")
+	}
+	hc, err := huge.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hc), `"sharded": true`) {
+		t.Fatalf("huge canonical form does not pin the sharded builder: %s", hc)
+	}
+
+	patched, err := Parse([]byte(`{"version": 1, "topology": {"sharded": true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patched.Topology.Sharded {
+		t.Fatal("sharded patch ignored")
+	}
+	if patched.Hash() == MustLookup(DefaultName).Hash() {
+		t.Fatal("flipping sharded did not change the spec hash")
+	}
+}
+
 func TestParseRejectsUnknownKeys(t *testing.T) {
 	cases := map[string]string{
 		"top-level": `{"version": 1, "warp_drive": true}`,

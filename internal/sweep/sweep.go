@@ -222,9 +222,3 @@ func frac(n, d int) float64 {
 	return float64(n) / float64(d)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

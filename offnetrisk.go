@@ -68,6 +68,21 @@ type Pipeline struct {
 	// funnel drop reason. See internal/chaos.
 	Chaos *chaos.Injector
 
+	// Shards partitions the sharded world builder's entity index space; <= 0
+	// means the builder's machine-independent default. Like Workers it is
+	// output-invariant — the composed world is byte-identical at any shard
+	// count — and it is ignored entirely by the legacy builder (scenarios
+	// whose topology is not sharded).
+	Shards int
+
+	// SnapshotPath, when set, spills the generated world to a binary
+	// snapshot on first build and streams it back on every later build
+	// (including later epochs of the same run) instead of re-synthesizing.
+	// The snapshot is validated against the pipeline's world config and
+	// scenario hash; a mismatch is a hard error, mirroring the runsdiff
+	// drift contract.
+	SnapshotPath string
+
 	// Spec is the resolved scenario the pipeline builds its world from; nil
 	// means the registry's default scenario (the paper's hard-coded world).
 	// At ScaleTiny/ScaleLarge the spec's topology section is overridden by
@@ -165,14 +180,35 @@ func (s Scale) String() string {
 // the spec's topology section with the literal test/large worlds, so every
 // scenario can run golden-gated at test scale.
 func (p *Pipeline) worldConfig() inet.Config {
+	var cfg inet.Config
 	switch p.Scale {
 	case ScaleTiny:
-		return inet.TinyConfig(p.Seed)
+		cfg = inet.TinyConfig(p.Seed)
 	case ScaleLarge:
-		return inet.LargeConfig(p.Seed)
+		cfg = inet.LargeConfig(p.Seed)
 	default:
-		return inet.ConfigFromScenario(p.spec(), p.Seed)
+		cfg = inet.ConfigFromScenario(p.spec(), p.Seed)
 	}
+	// Parallelism knobs only — neither changes the world's bytes.
+	cfg.Shards = p.Shards
+	cfg.GenWorkers = p.Workers
+	return cfg
+}
+
+// buildWorld synthesizes (or, with SnapshotPath set, streams back) one
+// fresh world for an epoch.
+func (p *Pipeline) buildWorld() (*inet.World, error) {
+	w, fromDisk, err := inet.LoadOrGenerate(p.SnapshotPath, p.worldConfig(), p.spec().Hash())
+	if err != nil {
+		return nil, fmt.Errorf("offnetrisk: build world: %w", err)
+	}
+	if fromDisk {
+		// Registered lazily so snapshot-free runs keep their manifest metric
+		// set — and therefore the committed goldens — byte-identical.
+		obs.NewCounter("world.snapshot_loads",
+			"worlds streamed from a binary snapshot instead of re-synthesized").Inc()
+	}
+	return w, nil
 }
 
 // deployment returns (building if needed) the world and deployment for an
@@ -186,7 +222,10 @@ func (p *Pipeline) deployment(epoch hypergiant.Epoch) (*inet.World, *hypergiant.
 	}
 	sp := p.span(fmt.Sprintf("world/build-%d", epoch))
 	defer sp.End()
-	w := inet.Generate(p.worldConfig())
+	w, err := p.buildWorld()
+	if err != nil {
+		return nil, nil, err
+	}
 	d, err := hypergiant.Deploy(w, epoch, hypergiant.DeployConfigFromScenario(p.spec(), p.Seed))
 	if err != nil {
 		return nil, nil, fmt.Errorf("offnetrisk: deploy epoch %d: %w", epoch, err)
