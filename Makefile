@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios check-shards
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios check-shards check-lineage golden-lineage
 
 build:
 	$(GO) build ./...
@@ -61,8 +61,10 @@ profile:
 # parallel substrates fail fast, before the full race suite; perf-gate is
 # pure file analysis; check-scenarios proves every named scenario still
 # reproduces its committed golden manifest; check-shards proves -shards is
-# output-invariant and the huge tier generates and streams.
-check: build vet race-obs race perf-gate check-scenarios check-shards
+# output-invariant and the huge tier generates and streams; check-lineage
+# proves the provenance capture reproduces its committed digest and answers
+# evidence queries.
+check: build vet race-obs race perf-gate check-scenarios check-shards check-lineage
 
 # Full reproduction report with provenance manifest.
 report:
@@ -132,6 +134,23 @@ check-shards:
 	@rm -f /tmp/huge-smoke.ofnw
 	$(GO) run ./cmd/offnetgen -scenario huge -seed 42 -gen-only -snapshot /tmp/huge-smoke.ofnw
 	$(GO) run ./cmd/offnetgen -scenario huge -seed 42 -gen-only -snapshot /tmp/huge-smoke.ofnw
+
+# Lineage determinism gate: reproduce at the golden seed/scale with the
+# provenance recorder on, diff the manifest (lineage_digest + per-stage
+# decision counts included) against the checked-in lineage reference, and
+# smoke-query the capture with cmd/explain — a populated Table 1 cell must
+# come back with its evidence chain (explain exits 1 on no match).
+check-lineage:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/lineage-out \
+		-manifest /tmp/lineage-out/manifest.json -lineage /tmp/lineage-out/lineage.jsonl
+	$(GO) run ./cmd/runsdiff out/golden_lineage_manifest.json /tmp/lineage-out/manifest.json
+	$(GO) run ./cmd/explain -lineage /tmp/lineage-out/lineage.jsonl -isp 10000 -hg Akamai > /dev/null
+	$(GO) run ./cmd/explain -lineage /tmp/lineage-out/lineage.jsonl -list
+
+# Regenerate the lineage golden manifest (same rules as `make golden`).
+golden-lineage:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/golden-lineage-out \
+		-manifest out/golden_lineage_manifest.json -lineage /tmp/golden-lineage-out/lineage.jsonl
 
 # Regenerate the per-scenario golden manifests (same rules as `make golden`:
 # commit the results and say why in the commit message).

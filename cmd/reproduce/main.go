@@ -299,6 +299,19 @@ func main() {
 		return nil
 	})
 
+	// Evidence appendix: per-stage decision accounting plus sampled evidence
+	// chains from the lineage recorder. Lineage-off runs skip the section
+	// entirely, keeping REPORT.md byte-identical to a build without -lineage.
+	run("evidence-appendix", func() error {
+		lr := obs.ActiveLineage()
+		if lr == nil {
+			return nil
+		}
+		fmt.Fprintf(&md, "\n## Evidence appendix (lineage)\n\nPer-decision provenance sampled by the lineage recorder (digest `%s`).\nEach stage shows its decision accounting and a deterministic sample of\nevidence chains; query the full capture with cmd/explain.\n\n%s",
+			lr.Digest(), obs.LineageMarkdown(lr, 2))
+		return nil
+	})
+
 	// Timeline analysis of the run itself: critical path, exclusive
 	// self-times, worker utilization. Wall-clock numbers, so the section —
 	// like the manifest's profile block — varies run to run and is excluded

@@ -2,13 +2,26 @@ package cascade
 
 import (
 	"context"
+	"fmt"
 
 	"offnetrisk/internal/capacity"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/inet"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/par"
 	"offnetrisk/internal/traffic"
 )
+
+// lnMitigation is the lineage stage name of the §4.3/§6 isolation sweep
+// (DESIGN.md §13).
+const lnMitigation = "cascade.mitigation"
+
+// fMitigation accounts the isolation sweep: ISPs attempted vs. scenarios
+// whose collateral the capacity slices fully neutralized. Lazily registered
+// and fed only under lineage, so lineage-off runs keep golden manifests
+// byte-identical.
+var fMitigation = obs.NewLazyFunnel("cascade.mitigation",
+	"isolation-sweep ISPs attempted vs. collateral fully neutralized")
 
 // §6 sketches mitigations: "isolation mechanisms deployed in colocation
 // facilities, ISPs, IXPs, and transit, to protect capacity for each
@@ -204,22 +217,71 @@ func MitigationSweepContext(ctx context.Context, m *capacity.Model, d *hypergian
 		shared, isolated float64
 		neutralized      bool
 	}
+	lr := obs.ActiveLineage()
+	var f *obs.Funnel
+	if lr != nil {
+		// Lazily registered and fed only under lineage (golden protection).
+		f = fMitigation.Get()
+	}
+	// mitigationDrop accounts and samples one dropped sweep scenario. Counts
+	// are commutative atomic adds and each ISP is exactly one task, so the
+	// accounting and the sample are identical at any worker count.
+	mitigationDrop := func(as inet.ASN, reason string, build func() []obs.LineageKV) {
+		f.In(1)
+		f.Drop(reason, 1)
+		lr.CountIn(lnMitigation, 1)
+		lr.CountDrop(lnMitigation, reason, 1)
+		lr.Record(lnMitigation, "reason="+reason, fmt.Sprintf("isp=%d", as),
+			obs.LineageDropped, reason, build)
+	}
 	outs, err := par.Map(ctx, len(isps), par.Options{Workers: workers, Name: "mitigation-sweep"},
 		func(_ context.Context, i int) (outcome, error) {
-			fid, nHGs := TopFacility(d, isps[i])
+			as := isps[i]
+			fid, nHGs := TopFacility(d, as)
 			if nHGs <= 0 {
+				if lr != nil {
+					mitigationDrop(as, "no_shared_facility", nil)
+				}
 				return outcome{}, nil
 			}
 			sc := DefaultScenario()
 			sc.SharedHeadroom = 1.1
 			sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
 			rep := SimulateIsolated(m, d, sc)
-			return outcome{
+			o := outcome{
 				ok:          true,
 				shared:      float64(len(rep.CollateralISPs)),
 				isolated:    float64(len(rep.IsolatedCollateralISPs)),
 				neutralized: len(rep.CollateralISPs) > 0 && len(rep.IsolatedCollateralISPs) == 0,
-			}, nil
+			}
+			if lr != nil {
+				evidence := func() []obs.LineageKV {
+					kvs := []obs.LineageKV{
+						{K: "failed_facility", V: fmt.Sprint(fid)},
+						{K: "hgs_at_facility", V: fmt.Sprint(nHGs)},
+						{K: "collateral_shared", V: fmt.Sprint(len(rep.CollateralISPs))},
+						{K: "collateral_isolated", V: fmt.Sprint(len(rep.IsolatedCollateralISPs))},
+					}
+					for _, hg := range rep.OffendingHGs {
+						kvs = append(kvs, obs.LineageKV{K: "offender", V: hg.String()})
+					}
+					return kvs
+				}
+				switch {
+				case o.neutralized:
+					f.In(1)
+					f.Out(1)
+					lr.CountIn(lnMitigation, 1)
+					lr.CountKept(lnMitigation, 1)
+					lr.Record(lnMitigation, "", fmt.Sprintf("isp=%d", as),
+						obs.LineageKept, "neutralized", evidence)
+				case o.shared == 0:
+					mitigationDrop(as, "no_collateral", evidence)
+				default:
+					mitigationDrop(as, "residual_collateral", evidence)
+				}
+			}
+			return o, nil
 		})
 	if err != nil {
 		return MitigationStats{}, err

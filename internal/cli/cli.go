@@ -38,6 +38,7 @@ type Common struct {
 	DebugAddr     string
 	Events        string
 	Trace         string
+	Lineage       string
 	Chaos         string
 	ChaosSeed     int64
 
@@ -60,6 +61,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.Events, "events", "", "stream span start/end and funnel snapshots as JSONL to this file")
 	fs.StringVar(&c.Trace, "trace", "", "export the execution timeline as Perfetto-loadable trace-event JSON to this file")
+	fs.StringVar(&c.Lineage, "lineage", "", "record per-decision provenance and write it as JSONL to this file (query with cmd/explain)")
 	fs.StringVar(&c.Chaos, "chaos", "off", "fault-injection profile: off, light or heavy (default: the scenario's)")
 	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 7, "seed for the fault-injection streams (independent of -seed; default: the scenario's)")
 	return c
@@ -238,12 +240,13 @@ func (c *Common) StartDebug(ctx context.Context, tr *obs.Tracer, logger *slog.Lo
 
 // Observability wires the optional observability surfaces in one call: the
 // -debug-addr endpoint (pprof, expvar, Prometheus /metrics, live /debug/obs
-// page), the -events JSONL stream attached to the tracer, and the -trace
-// timeline recording whose Perfetto export is written at teardown. The
-// returned close emits the final funnel snapshots, flushes the stream, and
-// writes the trace file; it is idempotent, also runs on ctx cancellation (so
-// ^C still leaves a complete stream and trace behind), and must be deferred
-// by the command.
+// page), the -events JSONL stream attached to the tracer, the -trace
+// timeline recording whose Perfetto export is written at teardown, and the
+// -lineage provenance recorder whose JSONL capture is spilled at teardown.
+// The returned close emits the final funnel snapshots, flushes the stream,
+// and writes the trace and lineage files; it is idempotent, also runs on ctx
+// cancellation (so ^C still leaves a complete stream, trace and lineage
+// capture behind), and must be deferred by the command.
 func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog.Logger) (func(), error) {
 	if err := c.StartDebug(ctx, tr, logger); err != nil {
 		return nil, err
@@ -263,7 +266,12 @@ func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog
 		// the export sees the whole run.
 		tr.EnableTimeline()
 	}
-	if sink == nil && c.Trace == "" {
+	if c.Lineage != "" {
+		// Like the timeline, the recorder must be live before any
+		// classification decision runs so the capture covers the whole run.
+		obs.SetLineage(obs.NewLineageRecorder())
+	}
+	if sink == nil && c.Trace == "" && c.Lineage == "" {
 		return func() {}, nil
 	}
 	var once sync.Once
@@ -281,6 +289,15 @@ func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog
 					logger.Warn("trace export failed", "path", c.Trace, "err", err)
 				} else {
 					logger.Info("trace written", "path", c.Trace, "hint", "load in ui.perfetto.dev")
+				}
+			}
+			if lr := obs.ActiveLineage(); c.Lineage != "" && lr != nil {
+				if err := obs.WriteLineageFile(c.Lineage, lr); err != nil {
+					logger.Warn("lineage export failed", "path", c.Lineage, "err", err)
+				} else {
+					logger.Info("lineage written", "path", c.Lineage,
+						"records", len(lr.Records()), "digest", lr.Digest(),
+						"hint", "query with cmd/explain")
 				}
 			}
 		})

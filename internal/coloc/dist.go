@@ -9,10 +9,12 @@ package coloc
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
 	"offnetrisk/internal/mlab"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/par"
 )
 
@@ -53,6 +55,12 @@ func (s *PairScratch) FlushFunnel() {
 	fPairs.Out(s.fOut)
 	fPairsNaN.Add(s.fNaN)
 	fPairsDiscrepant.Add(s.fExcl)
+	if lr := obs.ActiveLineage(); lr != nil {
+		lr.CountIn(lnPairs, s.fIn)
+		lr.CountKept(lnPairs, s.fOut)
+		lr.CountDrop(lnPairs, "nan_rtt", s.fNaN)
+		lr.CountDrop(lnPairs, "discrepant_20pct", s.fExcl)
+	}
 	s.fIn, s.fNaN, s.fExcl, s.fOut = 0, 0, 0, 0
 }
 
@@ -245,8 +253,27 @@ func DistanceMatrixInto(ctx context.Context, m *DistMatrix, ms []*mlab.Measureme
 				i++
 			}
 			j := i + 1 + (start - rowStart)
+			lr := obs.ActiveLineage()
 			for k := start; k < end; k++ {
 				m.cells[k] = sc.PairDistance(ms[i].RTTms, ms[j].RTTms, sites, exclude)
+				if lr != nil {
+					// Sampled pair evidence. Every pair belongs to exactly one
+					// ISP's measurement set and one block task, so no two
+					// workers ever offer the same identity — the sample is
+					// deterministic at any worker count.
+					a, b, d := ms[i].Target, ms[j].Target, m.cells[k]
+					lr.Record(lnPairs, fmt.Sprintf("isp=%d", a.ISP),
+						a.Addr.String()+"|"+b.Addr.String(),
+						obs.LineageKept, "distance", func() []obs.LineageKV {
+							return []obs.LineageKV{
+								{K: "distance_ms", V: fmt.Sprintf("%.6g", d)},
+								{K: "sites", V: fmt.Sprint(len(sites))},
+								{K: "exclude_frac", V: fmt.Sprintf("%g", exclude)},
+								{K: "hg_a", V: a.HG.String()},
+								{K: "hg_b", V: b.HG.String()},
+							}
+						})
+				}
 				j++
 				if j == n {
 					i++

@@ -118,7 +118,54 @@ td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
 		fmt.Fprint(w, "</table>")
 	}
 
+	if lr := ActiveLineage(); lr != nil {
+		writeLineageSection(w, lr)
+	}
+
 	fmt.Fprint(w, "<p><a href='/debug/pprof/'>pprof</a> · <a href='/debug/vars'>expvar</a> · <a href='/metrics'>prometheus</a></p>")
+}
+
+// writeLineageSection renders the active lineage recorder: per-stage decision
+// counts and the sampled evidence records. Subjects, reasons, and evidence
+// values are caller-supplied strings — escape everything.
+func writeLineageSection(w http.ResponseWriter, lr *LineageRecorder) {
+	counts := lr.StageCounts()
+	if len(counts) == 0 {
+		return
+	}
+	fmt.Fprint(w, "<h2>lineage</h2><table><tr><th>stage</th><th>in</th><th>kept</th><th>dropped</th><th>drop breakdown</th></tr>")
+	for _, s := range counts {
+		breakdown := "—"
+		if len(s.Drops) > 0 {
+			breakdown = ""
+			for i, d := range s.Drops {
+				if i > 0 {
+					breakdown += ", "
+				}
+				breakdown += fmt.Sprintf("%s=%d", html.EscapeString(d.Reason), d.N)
+			}
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>",
+			html.EscapeString(s.Stage), s.In, s.Kept, s.Dropped(), breakdown)
+	}
+	fmt.Fprint(w, "</table>")
+
+	recs := lr.Records()
+	fmt.Fprintf(w, "<h3>sampled decisions (%d) — digest %s</h3>", len(recs), html.EscapeString(lr.Digest()))
+	fmt.Fprint(w, "<table><tr><th>stage</th><th>group</th><th>subject</th><th>outcome</th><th>reason</th><th>evidence</th></tr>")
+	for _, d := range recs {
+		ev := ""
+		for i, kv := range d.Evidence {
+			if i > 0 {
+				ev += " "
+			}
+			ev += html.EscapeString(kv.K) + "=" + html.EscapeString(kv.V)
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+			html.EscapeString(d.Stage), html.EscapeString(d.Group), html.EscapeString(d.Subject),
+			html.EscapeString(d.Outcome), html.EscapeString(d.ReasonCode), ev)
+	}
+	fmt.Fprint(w, "</table>")
 }
 
 func writeSpanRows(w http.ResponseWriter, s SpanSnapshot, depth int) {

@@ -122,10 +122,62 @@ func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
 		r.infof("critical path: %.0fms vs %.0fms", a.Profile.CriticalPathMS, b.Profile.CriticalPathMS)
 	}
 
+	// The lineage digest is a canonical hash of the sampled decision records:
+	// any change to what was decided — or to which evidence was retained —
+	// shows up here even when aggregate counters happen to agree.
+	if a.LineageDigest != b.LineageDigest {
+		r.driftf("lineage digest: %q vs %q", a.LineageDigest, b.LineageDigest)
+	}
+	compareLineage(a.Lineage, b.Lineage, r)
+
 	compareMetrics(a.Metrics, b.Metrics, opts, r)
 	compareFunnels(a.Funnels, b.Funnels, r)
 	compareStages(a.Stages, b.Stages, opts, r)
 	return r
+}
+
+// compareLineage diffs per-stage lineage decision counts: deterministic at
+// any worker count, so any difference is drift.
+func compareLineage(a, b []LineageStageCount, r *DiffResult) {
+	am := make(map[string]LineageStageCount, len(a))
+	for _, s := range a {
+		am[s.Stage] = s
+	}
+	bm := make(map[string]LineageStageCount, len(b))
+	for _, s := range b {
+		bm[s.Stage] = s
+	}
+	for _, name := range sortedKeys(am) {
+		as := am[name]
+		bs, ok := bm[name]
+		if !ok {
+			r.driftf("lineage %s: missing from candidate", name)
+			continue
+		}
+		if as.In != bs.In {
+			r.driftf("lineage %s: in %d vs %d", name, as.In, bs.In)
+		}
+		if as.Kept != bs.Kept {
+			r.driftf("lineage %s: kept %d vs %d", name, as.Kept, bs.Kept)
+		}
+		reasons := map[string]bool{}
+		for _, d := range as.Drops {
+			reasons[d.Reason] = true
+		}
+		for _, d := range bs.Drops {
+			reasons[d.Reason] = true
+		}
+		for _, reason := range sortedKeys(reasons) {
+			if an, bn := as.DropN(reason), bs.DropN(reason); an != bn {
+				r.driftf("lineage %s: drop %s %d vs %d", name, reason, an, bn)
+			}
+		}
+	}
+	for _, name := range sortedKeys(bm) {
+		if _, ok := am[name]; !ok {
+			r.driftf("lineage %s: missing from reference", name)
+		}
+	}
 }
 
 func compareMetrics(a, b map[string]MetricValue, opts DiffOptions, r *DiffResult) {

@@ -1,0 +1,58 @@
+package obs
+
+import "sync"
+
+// Optional subsystems must not register metrics unless they actually run:
+// every registered name lands in the run manifest, so an eagerly registered
+// counter from an inactive subsystem would perturb the committed golden
+// manifests. LazyCounter and LazyFunnel package the registration-on-first-use
+// pattern those subsystems (world snapshot loads, chaos injection, lineage
+// recording) were each hand-rolling: declare the handle at package level,
+// call Get only on the active path, and the underlying metric exists exactly
+// when the subsystem does.
+
+// LazyCounter defers registering its counter in the Default registry until
+// the first Get. The zero value is unusable; use NewLazyCounter.
+type LazyCounter struct {
+	name, help string
+	once       sync.Once
+	c          *Counter
+}
+
+// NewLazyCounter declares a counter without registering it.
+func NewLazyCounter(name, help string) *LazyCounter {
+	return &LazyCounter{name: name, help: help}
+}
+
+// Get registers the counter (once) and returns it. Safe on a nil receiver:
+// it returns a nil *Counter, whose methods no-op.
+func (l *LazyCounter) Get() *Counter {
+	if l == nil {
+		return nil
+	}
+	l.once.Do(func() { l.c = NewCounter(l.name, l.help) })
+	return l.c
+}
+
+// LazyFunnel defers registering its funnel in the Default registry until the
+// first Get. The zero value is unusable; use NewLazyFunnel.
+type LazyFunnel struct {
+	name, help string
+	once       sync.Once
+	f          *Funnel
+}
+
+// NewLazyFunnel declares a funnel without registering it.
+func NewLazyFunnel(name, help string) *LazyFunnel {
+	return &LazyFunnel{name: name, help: help}
+}
+
+// Get registers the funnel (once) and returns it. Safe on a nil receiver:
+// it returns a nil *Funnel, whose methods no-op.
+func (l *LazyFunnel) Get() *Funnel {
+	if l == nil {
+		return nil
+	}
+	l.once.Do(func() { l.f = NewFunnel(l.name, l.help) })
+	return l.f
+}

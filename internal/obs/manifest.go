@@ -45,6 +45,12 @@ type Manifest struct {
 	// times it varies run to run and is quarantined from determinism
 	// comparisons (runsdiff reports it as informational only).
 	Profile *Profile `json:"profile,omitempty"`
+	// Lineage provenance (-lineage): the canonical SHA-256 of the sampled
+	// per-decision records plus per-stage decision counts. Both omitted when
+	// lineage is off, so lineage-off manifests stay byte-identical to
+	// pre-lineage ones (the recorder and its funnels register lazily).
+	LineageDigest string              `json:"lineage_digest,omitempty"`
+	Lineage       []LineageStageCount `json:"lineage,omitempty"`
 	// Chaos provenance (internal/chaos): which fault profile and chaos seed
 	// the run injected, and whether any stage lost more than its degradation
 	// threshold to injected faults. All omitted on clean runs, so chaos-off
@@ -72,6 +78,10 @@ func BuildManifest(tool string, seed int64, scale string, tr *Tracer, start time
 	}
 	if len(m.Stages) > 0 {
 		m.Profile = BuildProfile(m.Stages, 10)
+	}
+	if lr := ActiveLineage(); lr != nil {
+		m.LineageDigest = lr.Digest()
+		m.Lineage = lr.StageCounts()
 	}
 	if !start.IsZero() {
 		m.StartedAt = start.UTC().Format(time.RFC3339)

@@ -13,6 +13,7 @@
 package offnetmap
 
 import (
+	"fmt"
 	"sort"
 
 	"offnetrisk/internal/cert"
@@ -44,6 +45,9 @@ var (
 // Rule decides whether a certificate belongs to a hypergiant.
 type Rule struct {
 	HG traffic.HG
+	// ID names the rule in provenance records ("google-2023"). Rules carried
+	// unchanged across methodology epochs keep their original vintage ID.
+	ID string
 	// Orgs: certificate Subject Organization entries owned by the
 	// hypergiant. Empty disables the organization check.
 	Orgs []string
@@ -58,28 +62,51 @@ type Rule struct {
 	RequireIssuer []string
 }
 
-// Matches reports whether the certificate satisfies the rule.
-func (r Rule) Matches(c cert.Certificate) bool {
-	matched := false
+// MatchInfo records which part of a rule a certificate satisfied — the
+// cert-matching step of the evidence chain behind every Table 1 cell.
+type MatchInfo struct {
+	RuleID string
+	// Via is the check that matched: "org", "exact_name", or "pattern".
+	Via string
+	// Name is the certificate field that matched: the Subject Organization
+	// for "org", the matching name otherwise.
+	Name string
+	// Issuer is the certificate issuer when the rule required one.
+	Issuer string
+}
+
+// MatchDetail reports whether the certificate satisfies the rule and, when it
+// does, which check matched.
+func (r Rule) MatchDetail(c cert.Certificate) (MatchInfo, bool) {
+	info := MatchInfo{RuleID: r.ID}
 	for _, org := range r.Orgs {
 		if c.SubjectOrg == org {
-			matched = true
+			info.Via, info.Name = "org", c.SubjectOrg
 		}
 	}
-	if !matched {
+	if info.Via == "" {
 		for _, n := range c.Names() {
 			for _, e := range r.ExactNames {
 				if n == e {
-					matched = true
+					info.Via, info.Name = "exact_name", n
 				}
 			}
 		}
 	}
-	if !matched && len(r.Patterns) > 0 && c.AnyNameMatches(r.Patterns) {
-		matched = true
+	if info.Via == "" && len(r.Patterns) > 0 && c.AnyNameMatches(r.Patterns) {
+		info.Via = "pattern"
+	patternName:
+		for _, n := range c.Names() {
+			for _, p := range r.Patterns {
+				if cert.MatchPattern(p, n) {
+					info.Name = n
+					break patternName
+				}
+			}
+		}
 	}
-	if !matched {
-		return false
+	if info.Via == "" {
+		return MatchInfo{}, false
 	}
 	if len(r.RequireIssuer) > 0 {
 		ok := false
@@ -89,10 +116,17 @@ func (r Rule) Matches(c cert.Certificate) bool {
 			}
 		}
 		if !ok {
-			return false
+			return MatchInfo{}, false
 		}
+		info.Issuer = c.Issuer
 	}
-	return true
+	return info, true
+}
+
+// Matches reports whether the certificate satisfies the rule.
+func (r Rule) Matches(c cert.Certificate) bool {
+	_, ok := r.MatchDetail(c)
+	return ok
 }
 
 // Rules2021 returns the original methodology's fingerprints.
@@ -100,21 +134,25 @@ func Rules2021() []Rule {
 	return []Rule{
 		{
 			HG:         traffic.Google,
+			ID:         "google-2021",
 			Orgs:       []string{"Google LLC"},
 			ExactNames: []string{"www.google.com", "youtube.com", "ggc.google.com"},
 		},
 		{
 			HG:         traffic.Netflix,
+			ID:         "netflix-2021",
 			Orgs:       []string{"Netflix, Inc."},
 			ExactNames: []string{"*.nflxvideo.net"},
 		},
 		{
 			HG:         traffic.Meta,
+			ID:         "meta-2021",
 			Orgs:       []string{"Facebook, Inc."},
 			ExactNames: []string{"*.fbcdn.net", "*.facebook.com"},
 		},
 		{
 			HG:         traffic.Akamai,
+			ID:         "akamai-2021",
 			Orgs:       []string{"Akamai Technologies, Inc."},
 			ExactNames: []string{"a248.e.akamai.net"},
 		},
@@ -131,12 +169,14 @@ func Rules2023() []Rule {
 		case traffic.Google:
 			rules[i] = Rule{
 				HG:            traffic.Google,
+				ID:            "google-2023",
 				Patterns:      []string{"*.googlevideo.com"},
 				RequireIssuer: []string{"Google Trust Services LLC"},
 			}
 		case traffic.Meta:
 			rules[i] = Rule{
 				HG:       traffic.Meta,
+				ID:       "meta-2023",
 				Orgs:     []string{"Facebook, Inc.", "Meta Platforms, Inc."},
 				Patterns: []string{"*.fbcdn.net"},
 			}
@@ -207,12 +247,26 @@ func Infer(w *inet.World, records []scan.Record, rules []Rule) *Result {
 // keyed by address only, so every classification pass over the same scan
 // (both rule epochs and the stale-rule ablation) loses the same records.
 func InferChaos(w *inet.World, records []scan.Record, rules []Rule, inj *chaos.Injector) *Result {
+	return InferLineage(w, records, rules, inj, "")
+}
+
+// lnClassify is the lineage stage name mirroring the classify funnel.
+const lnClassify = "offnetmap.classify"
+
+// InferLineage is InferChaos with a pass label for provenance: Table 1 runs
+// the same scan through three rule passes ("2021", "2023", "stale-2021"), and
+// the label keeps their lineage records apart. Kept decisions group by
+// (hypergiant, ISP, pass) — one sampling cell per Table 1 cell, so every
+// populated cell retains at least one full evidence chain.
+func InferLineage(w *inet.World, records []scan.Record, rules []Rule, inj *chaos.Injector, pass string) *Result {
 	mCertsClassified.Add(int64(len(records)))
 	var cFetchFail, cMangled *obs.Counter
 	if inj.Enabled() {
 		cFetchFail = fClassify.Reason("chaos_fetch_failed")
 		cMangled = fClassify.Reason("chaos_malformed")
 	}
+	lr := obs.ActiveLineage()
+	dropGroup := func(reason string) string { return "pass=" + pass + "|reason=" + reason }
 	res := &Result{ISPs: make(map[traffic.HG]map[inet.ASN]bool)}
 	for _, rule := range rules {
 		if res.ISPs[rule.HG] == nil {
@@ -220,42 +274,111 @@ func InferChaos(w *inet.World, records []scan.Record, rules []Rule, inj *chaos.I
 		}
 	}
 	fClassify.In(int64(len(records)))
+	lr.CountIn(lnClassify, int64(len(records)))
 	for _, rec := range records {
 		if inj.CertFetchFailed(int64(rec.Addr)) {
 			cFetchFail.Inc()
 			inj.CertsFailed.Inc()
+			lr.CountDrop(lnClassify, "chaos_fetch_failed", 1)
+			if lr != nil {
+				lr.Record(lnClassify, dropGroup("chaos_fetch_failed"), rec.Addr.String(),
+					obs.LineageDropped, "chaos_fetch_failed", func() []obs.LineageKV {
+						return []obs.LineageKV{{K: "pass", V: pass}}
+					})
+			}
 			continue
 		}
 		if inj.CertMangled(int64(rec.Addr)) {
 			cMangled.Inc()
 			inj.CertsMangled.Inc()
+			lr.CountDrop(lnClassify, "chaos_malformed", 1)
+			if lr != nil {
+				lr.Record(lnClassify, dropGroup("chaos_malformed"), rec.Addr.String(),
+					obs.LineageDropped, "chaos_malformed", func() []obs.LineageKV {
+						return []obs.LineageKV{{K: "pass", V: pass}}
+					})
+			}
 			continue
 		}
 		as, ok := w.OwnerOf(rec.Addr)
 		if !ok {
 			fClassifyUnrouted.Inc()
+			lr.CountDrop(lnClassify, "unrouted", 1)
+			if lr != nil {
+				lr.Record(lnClassify, dropGroup("unrouted"), rec.Addr.String(),
+					obs.LineageDropped, "unrouted", func() []obs.LineageKV {
+						return []obs.LineageKV{
+							{K: "pass", V: pass},
+							{K: "ip_to_as", V: "miss"},
+						}
+					})
+			}
 			continue
 		}
 		owner, ok := w.ISPs[as]
 		if !ok || owner.Tier == inet.TierContent {
 			// Hypergiant-announced space: onnet, not offnet.
 			fClassifyOnnet.Inc()
+			lr.CountDrop(lnClassify, "onnet_space", 1)
+			if lr != nil {
+				lr.Record(lnClassify, dropGroup("onnet_space"), rec.Addr.String(),
+					obs.LineageDropped, "onnet_space", func() []obs.LineageKV {
+						return []obs.LineageKV{
+							{K: "pass", V: pass},
+							{K: "routed_as", V: fmt.Sprint(as)},
+							{K: "as_tier", V: "content"},
+						}
+					})
+			}
 			continue
 		}
 		matched := false
 		for _, rule := range rules {
-			if !rule.Matches(rec.Cert) {
+			info, ok := rule.MatchDetail(rec.Cert)
+			if !ok {
 				continue
 			}
 			res.Offnets = append(res.Offnets, Offnet{Addr: rec.Addr, HG: rule.HG, ISP: as})
 			res.ISPs[rule.HG][as] = true
 			matched = true
+			if lr != nil {
+				hg, asn := rule.HG, as
+				lr.Record(lnClassify,
+					fmt.Sprintf("hg=%s|isp=%d|pass=%s", hg, asn, pass),
+					rec.Addr.String(), obs.LineageKept, "offnet", func() []obs.LineageKV {
+						ev := []obs.LineageKV{
+							{K: "pass", V: pass},
+							{K: "routed_as", V: fmt.Sprint(asn)},
+							{K: "hg", V: hg.String()},
+							{K: "rule_id", V: info.RuleID},
+							{K: "match_via", V: info.Via},
+							{K: "match_name", V: info.Name},
+							{K: "cert_fingerprint", V: rec.Cert.Fingerprint()},
+						}
+						if info.Issuer != "" {
+							ev = append(ev, obs.LineageKV{K: "issuer", V: info.Issuer})
+						}
+						return ev
+					})
+			}
 			break
 		}
 		if matched {
 			fClassify.Out(1)
+			lr.CountKept(lnClassify, 1)
 		} else {
 			fClassifyNoMatch.Inc()
+			lr.CountDrop(lnClassify, "no_cert_match", 1)
+			if lr != nil {
+				lr.Record(lnClassify, dropGroup("no_cert_match"), rec.Addr.String(),
+					obs.LineageDropped, "no_cert_match", func() []obs.LineageKV {
+						return []obs.LineageKV{
+							{K: "pass", V: pass},
+							{K: "routed_as", V: fmt.Sprint(as)},
+							{K: "cert_fingerprint", V: rec.Cert.Fingerprint()},
+						}
+					})
+			}
 		}
 	}
 	return res

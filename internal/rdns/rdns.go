@@ -19,8 +19,19 @@ import (
 	"offnetrisk/internal/geo"
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
 )
+
+// lnMetro is the lineage stage name of the geohint extraction (DESIGN.md §13).
+const lnMetro = "rdns.metro"
+
+// fMetro accounts PTR geohint extraction during cluster validation: cluster
+// members considered vs. located. Lazily registered — the funnel exists for
+// provenance and is fed only when lineage recording is on, so lineage-off
+// runs leave golden manifests untouched.
+var fMetro = obs.NewLazyFunnel("rdns.metro",
+	"cluster members entering PTR geohint extraction vs. located to a metro")
 
 // Config controls PTR synthesis.
 type Config struct {
@@ -80,6 +91,14 @@ func Synthesize(d *hypergiant.Deployment, cfg Config) PTRTable {
 // equals the code or starts with the code followed by digits (lhr, lhr2).
 // It returns false when no token (or an ambiguous set of tokens) is found.
 func ExtractMetro(hostname string) (geo.Metro, bool) {
+	m, _, ok := extractMetroDetail(hostname)
+	return m, ok
+}
+
+// extractMetroDetail is ExtractMetro with the failure reason spelled out for
+// lineage records: "no_geo_token" when no catalogue code appears in any
+// label, "ambiguous_token" when distinct codes disagree.
+func extractMetroDetail(hostname string) (geo.Metro, string, bool) {
 	labels := strings.Split(strings.ToLower(hostname), ".")
 	var found []geo.Metro
 	for _, label := range labels {
@@ -94,16 +113,16 @@ func ExtractMetro(hostname string) (geo.Metro, bool) {
 		}
 	}
 	if len(found) == 0 {
-		return geo.Metro{}, false
+		return geo.Metro{}, "no_geo_token", false
 	}
 	// Multiple distinct tokens are ambiguous (HOIHO would score them; we
 	// require agreement).
 	for _, m := range found[1:] {
 		if m.Code != found[0].Code {
-			return geo.Metro{}, false
+			return geo.Metro{}, "ambiguous_token", false
 		}
 	}
-	return found[0], true
+	return found[0], "", true
 }
 
 func trimDigits(s string) string {
@@ -188,18 +207,57 @@ type ValidationReport struct {
 // ISP at the given ξ. labelsOf returns the flat labels and the measured
 // servers for each ISP (the shape the coloc analysis provides).
 func Validate(ptrs PTRTable, clusters map[string][][]netaddr.Addr, xi float64) ValidationReport {
+	lr := obs.ActiveLineage()
+	var f *obs.Funnel
+	if lr != nil {
+		// Lazily registered and fed only under lineage so lineage-off runs
+		// keep every committed golden manifest byte-identical.
+		f = fMetro.Get()
+	}
 	rep := ValidationReport{Xi: xi}
-	for _, ispClusters := range clusters {
+	for ispKey, ispClusters := range clusters {
+		group := fmt.Sprintf("isp=%s|xi=%g", ispKey, xi)
 		for _, members := range ispClusters {
 			var located []geo.Metro
 			for _, addr := range members {
+				addr := addr
 				host, ok := ptrs[addr]
+				if lr != nil {
+					f.In(1)
+					lr.CountIn(lnMetro, 1)
+				}
 				if !ok {
+					if lr != nil {
+						f.Drop("no_ptr", 1)
+						lr.CountDrop(lnMetro, "no_ptr", 1)
+						lr.Record(lnMetro, group, addr.String(), obs.LineageDropped, "no_ptr", nil)
+					}
 					continue
 				}
-				if m, ok := ExtractMetro(host); ok {
-					located = append(located, m)
+				m, reason, ok := extractMetroDetail(host)
+				if !ok {
+					if lr != nil {
+						f.Drop(reason, 1)
+						lr.CountDrop(lnMetro, reason, 1)
+						lr.Record(lnMetro, group, addr.String(), obs.LineageDropped, reason,
+							func() []obs.LineageKV {
+								return []obs.LineageKV{{K: "hostname", V: host}}
+							})
+					}
+					continue
 				}
+				if lr != nil {
+					f.Out(1)
+					lr.CountKept(lnMetro, 1)
+					lr.Record(lnMetro, group, addr.String(), obs.LineageKept, "located",
+						func() []obs.LineageKV {
+							return []obs.LineageKV{
+								{K: "hostname", V: host},
+								{K: "metro", V: m.Code},
+							}
+						})
+				}
+				located = append(located, m)
 			}
 			switch Classify(located) {
 			case SingleCity:

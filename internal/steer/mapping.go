@@ -5,9 +5,20 @@ import (
 
 	"offnetrisk/internal/hypergiant"
 	"offnetrisk/internal/netaddr"
+	"offnetrisk/internal/obs"
 	"offnetrisk/internal/rngutil"
 	"offnetrisk/internal/traffic"
 )
+
+// lnMapping is the lineage stage name of the §5 user-mapping probe
+// (DESIGN.md §13).
+const lnMapping = "steer.mapping"
+
+// fMapping accounts the ECS mapping technique: client /24s probed vs. mapped
+// to an offnet. Lazily registered and fed only under lineage, so lineage-off
+// runs keep golden manifests byte-identical.
+var fMapping = obs.NewLazyFunnel("steer.mapping",
+	"client /24s probed with ECS queries vs. mapped to an offnet address")
 
 // MappingResult is the outcome of attempting the 2013 DNS-based
 // user→offnet mapping technique against one hypergiant.
@@ -96,10 +107,17 @@ func MapUsers(d *hypergiant.Deployment, modes map[traffic.HG]Mode, resolvers []R
 		probes = resolvers
 	}
 
+	lr := obs.ActiveLineage()
+	var f *obs.Funnel
+	if lr != nil {
+		// Lazily registered and fed only under lineage (golden protection).
+		f = fMapping.Get()
+	}
 	var out []MappingResult
 	for _, hg := range traffic.All {
 		dir := dirs[hg]
 		mode := modes[hg]
+		group := "hg=" + hg.String()
 		res := MappingResult{HG: hg, Mode: mode, TotalOffnets: len(dir.OffnetAddrs())}
 		discovered := make(map[netaddr.Addr]bool)
 		for _, s24 := range sample {
@@ -117,13 +135,42 @@ func MapUsers(d *hypergiant.Deployment, modes map[traffic.HG]Mode, resolvers []R
 					break
 				}
 			}
+			if lr != nil {
+				f.In(1)
+				lr.CountIn(lnMapping, 1)
+			}
 			if !found {
+				if lr != nil {
+					f.Drop("no_offnet_steering", 1)
+					lr.CountDrop(lnMapping, "no_offnet_steering", 1)
+					lr.Record(lnMapping, group, s24.String(), obs.LineageDropped,
+						"no_offnet_steering", func() []obs.LineageKV {
+							return []obs.LineageKV{
+								{K: "mode", V: mode.String()},
+								{K: "probe_resolvers", V: fmt.Sprint(len(probes))},
+							}
+						})
+				}
 				continue
 			}
 			res.OffnetMapped++
 			discovered[mapped] = true
+			correct := false
 			if truth, ok := dir.ServerFor(client); ok && truth == mapped {
 				res.Correct++
+				correct = true
+			}
+			if lr != nil {
+				f.Out(1)
+				lr.CountKept(lnMapping, 1)
+				lr.Record(lnMapping, group, s24.String(), obs.LineageKept, "offnet_mapped",
+					func() []obs.LineageKV {
+						return []obs.LineageKV{
+							{K: "mode", V: mode.String()},
+							{K: "mapped_addr", V: mapped.String()},
+							{K: "correct", V: fmt.Sprint(correct)},
+						}
+					})
 			}
 		}
 		res.DistinctOffnets = len(discovered)

@@ -40,6 +40,14 @@ var (
 	fHopsUnmapped     = fHops.Reason("unmapped")
 )
 
+// fTraces exists only on chaos runs: it is registered through the shared
+// lazy helper on first use, so clean manifests carry no tracert.traces row.
+var fTraces = obs.NewLazyFunnel("tracert.traces",
+	"traceroutes attempted vs. issued under fault injection")
+
+// lnHops is the lineage stage mirroring the hops funnel.
+const lnHops = "tracert.hops"
+
 // Hop is one traceroute hop. Unresponsive hops appear with Responded=false
 // and no address (the '*' lines of a real traceroute).
 type Hop struct {
@@ -194,9 +202,7 @@ func SurveyContext(ctx context.Context, d *hypergiant.Deployment, hg traffic.HG,
 		truncated += res.truncated
 	}
 	if cfg.Chaos.Enabled() {
-		// Registered only under chaos, so clean manifests are unchanged.
-		f := obs.NewFunnel("tracert.traces",
-			"traceroutes attempted vs. issued under fault injection")
+		f := fTraces.Get()
 		f.In(attempted)
 		f.Out(attempted - lost)
 		f.Reason("chaos_transient").Add(lost)
@@ -379,7 +385,7 @@ func Infer(w *inet.World, hg traffic.HG, contentAS inet.ASN, traces map[inet.ASN
 	for as, list := range traces {
 		inf := ISPInference{Class: ClassNoEvidence}
 		for _, tr := range list {
-			accountHops(w, tr)
+			accountHops(w, as, tr)
 			classifyTrace(w, contentAS, as, tr, &inf)
 		}
 		out[as] = inf
@@ -388,24 +394,58 @@ func Infer(w *inet.World, hg traffic.HG, contentAS inet.ASN, traces map[inet.ASN
 }
 
 // accountHops feeds the tracert.hops funnel and the hops_mapped counter for
-// one trace, batched into single atomic adds per trace.
-func accountHops(w *inet.World, tr Trace) {
+// one trace, batched into single atomic adds per trace. Lineage counts mirror
+// the funnel feed; sampled hop records group by the trace's destination ISP.
+// Hop responsiveness, chaos perturbation, and network mapping are all stable
+// per address, so a hop's decision record is pure per (address, config) no
+// matter which trace it appears in.
+func accountHops(w *inet.World, dst inet.ASN, tr Trace) {
+	lr := obs.ActiveLineage()
+	hopRecord := func(h Hop, outcome, reason string, build func() []obs.LineageKV) {
+		group := fmt.Sprintf("isp=%d", dst)
+		if outcome == obs.LineageDropped {
+			group += "|reason=" + reason
+		}
+		lr.Record(lnHops, group, h.Addr.String(), outcome, reason, build)
+	}
 	var unresp, unmapped, mapped, chaosSilent, chaosNoise int64
 	for _, h := range tr.Hops {
 		switch {
 		case !h.Responded:
 			if h.Chaos {
 				chaosSilent++
+				if lr != nil {
+					hopRecord(h, obs.LineageDropped, "chaos_silent", nil)
+				}
 			} else {
 				unresp++
+				if lr != nil {
+					hopRecord(h, obs.LineageDropped, "unresponsive", nil)
+				}
 			}
 		default:
-			if _, _, ok := mapHop(w, h); ok {
+			if owner, viaIXP, ok := mapHop(w, h); ok {
 				mapped++
+				if lr != nil {
+					owner, viaIXP := owner, viaIXP
+					hopRecord(h, obs.LineageKept, "mapped", func() []obs.LineageKV {
+						return []obs.LineageKV{
+							{K: "owner_as", V: fmt.Sprint(owner)},
+							{K: "via_ixp", V: fmt.Sprint(viaIXP)},
+							{K: "dst_isp", V: fmt.Sprint(dst)},
+						}
+					})
+				}
 			} else if h.Chaos {
 				chaosNoise++
+				if lr != nil {
+					hopRecord(h, obs.LineageDropped, "chaos_unmapped", nil)
+				}
 			} else {
 				unmapped++
+				if lr != nil {
+					hopRecord(h, obs.LineageDropped, "unmapped", nil)
+				}
 			}
 		}
 	}
@@ -413,13 +453,19 @@ func accountHops(w *inet.World, tr Trace) {
 	fHops.Out(mapped)
 	fHopsUnresponsive.Add(unresp)
 	fHopsUnmapped.Add(unmapped)
+	lr.CountIn(lnHops, int64(len(tr.Hops)))
+	lr.CountKept(lnHops, mapped)
+	lr.CountDrop(lnHops, "unresponsive", unresp)
+	lr.CountDrop(lnHops, "unmapped", unmapped)
 	// Chaos reasons are bound lazily — only traces carrying perturbed hops
 	// register them, so clean snapshots have no chaos_* rows.
 	if chaosSilent > 0 {
 		fHops.Reason("chaos_silent").Add(chaosSilent)
+		lr.CountDrop(lnHops, "chaos_silent", chaosSilent)
 	}
 	if chaosNoise > 0 {
 		fHops.Reason("chaos_unmapped").Add(chaosNoise)
+		lr.CountDrop(lnHops, "chaos_unmapped", chaosNoise)
 	}
 	mHopsMapped.Add(mapped)
 }

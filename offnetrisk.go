@@ -33,6 +33,11 @@ import (
 	"offnetrisk/internal/scenario"
 )
 
+// mSnapshotLoads is registered lazily so snapshot-free runs keep their
+// manifest metric set — and therefore the committed goldens — byte-identical.
+var mSnapshotLoads = obs.NewLazyCounter("world.snapshot_loads",
+	"worlds streamed from a binary snapshot instead of re-synthesized")
+
 // Scale selects how large a synthetic Internet the pipeline builds.
 type Scale int
 
@@ -203,10 +208,7 @@ func (p *Pipeline) buildWorld() (*inet.World, error) {
 		return nil, fmt.Errorf("offnetrisk: build world: %w", err)
 	}
 	if fromDisk {
-		// Registered lazily so snapshot-free runs keep their manifest metric
-		// set — and therefore the committed goldens — byte-identical.
-		obs.NewCounter("world.snapshot_loads",
-			"worlds streamed from a binary snapshot instead of re-synthesized").Inc()
+		mSnapshotLoads.Get().Inc()
 	}
 	return w, nil
 }

@@ -76,9 +76,11 @@ func (p *Pipeline) Table1Context(ctx context.Context) (*Table1Result, error) {
 	sp.SetAttr("records_2023", len(recs23))
 	sp.End()
 	sp = p.span("table1/offnet-inference")
-	res21 := offnetmap.InferChaos(w21, recs21, offnetmap.Rules2021(), p.Chaos)
-	res23 := offnetmap.InferChaos(w23, recs23, offnetmap.Rules2023(), p.Chaos)
-	stale := offnetmap.InferChaos(w23, recs23, offnetmap.Rules2021(), p.Chaos)
+	// Pass labels keep the three classification passes apart in lineage
+	// records; with lineage off they are inert.
+	res21 := offnetmap.InferLineage(w21, recs21, offnetmap.Rules2021(), p.Chaos, "2021")
+	res23 := offnetmap.InferLineage(w23, recs23, offnetmap.Rules2023(), p.Chaos, "2023")
+	stale := offnetmap.InferLineage(w23, recs23, offnetmap.Rules2021(), p.Chaos, "stale-2021")
 	sp.SetAttr("offnets_2023", len(res23.Offnets))
 	sp.End()
 
