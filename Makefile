@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios check-shards check-lineage golden-lineage
+.PHONY: build test vet race race-obs bench bench-json bench-smoke bench-compare perf-gate profile check report runs-diff golden fuzz-smoke check-chaos golden-chaos check-scenarios golden-scenarios check-shards check-lineage golden-lineage check-temporal golden-temporal
 
 build:
 	$(GO) build ./...
@@ -64,7 +64,7 @@ profile:
 # output-invariant and the huge tier generates and streams; check-lineage
 # proves the provenance capture reproduces its committed digest and answers
 # evidence queries.
-check: build vet race-obs race perf-gate check-scenarios check-shards check-lineage
+check: build vet race-obs race perf-gate check-scenarios check-shards check-lineage check-temporal
 
 # Full reproduction report with provenance manifest.
 report:
@@ -93,6 +93,7 @@ fuzz-smoke:
 	$(GO) test ./internal/offnetmap -run '^FuzzRuleMatches$$' -fuzz '^FuzzRuleMatches$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rdns -run '^FuzzExtractMetro$$' -fuzz '^FuzzExtractMetro$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rdns -run '^FuzzLearnedExtract$$' -fuzz '^FuzzLearnedExtract$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scenario -run '^FuzzParseSchedule$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME)
 
 # Chaos determinism gate: reproduce under the heavy fault profile at the
 # golden seeds and diff against the checked-in degraded reference. The run
@@ -151,6 +152,24 @@ check-lineage:
 golden-lineage:
 	$(GO) run ./cmd/reproduce -tiny -seed 42 -out /tmp/golden-lineage-out \
 		-manifest out/golden_lineage_manifest.json -lineage /tmp/golden-lineage-out/lineage.jsonl
+
+# Temporal determinism gate: replay the committed seed-42 flash-crowd
+# schedule through the discrete-event engine and diff the manifest — the
+# trajectory digest rides the same runsdiff contract as counters and
+# funnels — then re-run at -workers 4 to prove the digest is byte-identical
+# at any worker count.
+check-temporal:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -hours 24 -schedule schedules/ios-flash-crowd.json \
+		-out /tmp/temporal-out -manifest /tmp/temporal-out/manifest.json
+	$(GO) run ./cmd/runsdiff out/golden_temporal_manifest.json /tmp/temporal-out/manifest.json
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -workers 4 -hours 24 -schedule schedules/ios-flash-crowd.json \
+		-out /tmp/temporal-out-w4 -manifest /tmp/temporal-out-w4/manifest.json
+	$(GO) run ./cmd/runsdiff out/golden_temporal_manifest.json /tmp/temporal-out-w4/manifest.json
+
+# Regenerate the temporal golden manifest (same rules as `make golden`).
+golden-temporal:
+	$(GO) run ./cmd/reproduce -tiny -seed 42 -hours 24 -schedule schedules/ios-flash-crowd.json \
+		-out /tmp/golden-temporal-out -manifest out/golden_temporal_manifest.json
 
 # Regenerate the per-scenario golden manifests (same rules as `make golden`:
 # commit the results and say why in the commit message).

@@ -36,6 +36,7 @@ import (
 	"offnetrisk/internal/optics"
 	"offnetrisk/internal/svgplot"
 	"offnetrisk/internal/sweep"
+	"offnetrisk/internal/temporal"
 )
 
 func main() {
@@ -62,6 +63,11 @@ func main() {
 	p, err := common.Pipeline()
 	if err != nil {
 		logger.Error("invalid flags", "err", err)
+		os.Exit(2)
+	}
+	hours, sched, err := common.Temporal()
+	if err != nil {
+		logger.Error("invalid temporal flags", "err", err)
 		os.Exit(2)
 	}
 	p.Instrument(tr)
@@ -257,6 +263,36 @@ func main() {
 		return nil
 	})
 
+	// Temporal replay runs only when -hours/-schedule requested it, so
+	// replay-free runs keep REPORT.md and the manifest byte-identical to
+	// pre-temporal ones.
+	var traj *temporal.Trajectory
+	if hours > 0 {
+		run("temporal-replay", func() error {
+			t, err := p.TemporalReplayContext(ctx, hours, sched, common.EventSink())
+			if err != nil {
+				return err
+			}
+			traj = t
+			fmt.Fprintf(&md, "## Temporal replay (DESIGN.md §14)\n\n```\n%s\n```\n\n", traj.Summary())
+			fmt.Fprintf(&md, "| t (h) | demand (Gbps) | offnet %% | interdomain %% | congested links | collateral ISPs |\n")
+			fmt.Fprintf(&md, "|---|---|---|---|---|---|\n")
+			for _, st := range traj.Steps {
+				a := st.Agg
+				off, inter := 0.0, 0.0
+				if a.Demand > 0 {
+					off = 100 * a.Offnet / a.Demand
+					inter = 100 * (a.PNI + a.IXP + a.UpstreamOffnet + a.Transit) / a.Demand
+				}
+				fmt.Fprintf(&md, "| %g | %.0f | %.1f | %.1f | %d | %d |\n",
+					st.AtHours, a.Demand, off, inter,
+					a.CongestedIXPs+a.CongestedTransits, a.CollateralISPs)
+			}
+			fmt.Fprintf(&md, "\n")
+			return nil
+		})
+	}
+
 	var passed, total int
 	run("conformance", func() error {
 		suite, err := p.ConformanceContext(ctx)
@@ -338,6 +374,11 @@ func main() {
 				m.ScenarioHash = p.Scenario().Hash()
 			}
 			m.Snapshot = common.Snapshot
+			if traj != nil {
+				m.TrajectoryDigest = traj.Digest()
+				m.TemporalHours = traj.Hours
+				m.TemporalSchedule = traj.ScheduleName
+			}
 			chaos.Annotate(m, p.Chaos, chaos.DefaultThresholds())
 			if err := m.WriteFile(*manifestPath); err != nil {
 				return err

@@ -38,6 +38,10 @@ func main() {
 	if err != nil {
 		fatal("invalid flags", err)
 	}
+	hours, sched, err := common.Temporal()
+	if err != nil {
+		fatal("invalid temporal flags", err)
+	}
 	tr := obs.NewTracer()
 	p.Instrument(tr)
 	stopObs, err := common.Observability(ctx, tr, logger)
@@ -122,6 +126,15 @@ func main() {
 		} else {
 			fatal("demand-spike sweep failed", err)
 		}
+	}
+
+	if hours > 0 {
+		traj, err := p.TemporalReplayContext(ctx, hours, sched, common.EventSink())
+		if err != nil {
+			fatal("temporal replay failed", err)
+		}
+		fmt.Println()
+		fmt.Println(traj.Summary())
 	}
 
 	if *storm {

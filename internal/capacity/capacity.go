@@ -223,6 +223,118 @@ func (m *Model) ServeBurst(mult float64, scale map[traffic.HG]float64, failedFac
 	return m.serve(mult, scale, failedFacilities, true)
 }
 
+// ServeHour is the diurnal replay entry point: it serves the given clock
+// hour of the 24-hour demand curve, so a temporal-engine step at hour h is
+// exactly Serve(Diurnal[h%24], ...) — the differential-oracle identity the
+// engine's steady-state steps are tested against. burst selects the
+// short-term ceiling regime, as in ServeBurst.
+func (m *Model) ServeHour(hour int, scale map[traffic.HG]float64, failedFacilities map[inet.FacilityID]bool, burst bool) []Flow {
+	h := ((hour % 24) + 24) % 24
+	return m.serve(Diurnal[h], scale, failedFacilities, burst)
+}
+
+// Layer identifies one serving-capacity surface of the model for targeted
+// cuts.
+type Layer int
+
+const (
+	// LayerOffnet is in-ISP (and upstream transit-hosted) offnet plant.
+	LayerOffnet Layer = iota
+	// LayerPNI is dedicated private peering capacity.
+	LayerPNI
+	// LayerIXP is shared exchange port capacity.
+	LayerIXP
+)
+
+// String names the layer as event schedules spell it.
+func (l Layer) String() string {
+	switch l {
+	case LayerOffnet:
+		return "offnet"
+	case LayerPNI:
+		return "pni"
+	case LayerIXP:
+		return "ixp"
+	}
+	return "unknown"
+}
+
+// Cut removes a fraction of one layer's capacity — the temporal engine's
+// "a PNI port dies / an offnet rack drains / an IXP LAG degrades" primitive.
+type Cut struct {
+	Layer Layer
+	// HG is the hypergiant the cut applies to; AllHGs widens it to all four.
+	HG     traffic.HG
+	AllHGs bool
+	// ISP restricts the cut to one access (or transit, for offnet) network;
+	// 0 means every network.
+	ISP inet.ASN
+	// Frac is the share of capacity removed, clamped to [0, 1].
+	Frac float64
+}
+
+func (c Cut) hits(hg traffic.HG, as inet.ASN) bool {
+	if !c.AllHGs && c.HG != hg {
+		return false
+	}
+	return c.ISP == 0 || c.ISP == as
+}
+
+// WithCuts returns a model with the cuts applied multiplicatively; the
+// receiver is never mutated (sites and capacity maps are deep-copied), so a
+// temporal engine can re-derive the cut model whenever its active-cut set
+// changes while the pristine baseline model stays untouched. An empty cut
+// list returns the receiver itself, keeping uncut serving bit-identical.
+func (m *Model) WithCuts(cuts []Cut) *Model {
+	if len(cuts) == 0 {
+		return m
+	}
+	out := &Model{
+		cfg:      m.cfg,
+		dep:      m.dep,
+		Sites:    make(map[traffic.HG]map[inet.ASN]*Site),
+		Upstream: make(map[traffic.HG]map[inet.ASN]*Site),
+		PNIGbps:  make(map[traffic.HG]map[inet.ASN]float64),
+		IXPPort:  make(map[traffic.HG]map[inet.ASN]float64),
+		IXPIDOf:  m.IXPIDOf,
+	}
+	keep := func(hg traffic.HG, as inet.ASN, layer Layer) float64 {
+		k := 1.0
+		for _, c := range cuts {
+			if c.Layer != layer || !c.hits(hg, as) {
+				continue
+			}
+			f := math.Min(math.Max(c.Frac, 0), 1)
+			k *= 1 - f
+		}
+		return k
+	}
+	cloneSites := func(src map[inet.ASN]*Site, hg traffic.HG) map[inet.ASN]*Site {
+		dst := make(map[inet.ASN]*Site, len(src))
+		for as, s := range src {
+			cp := *s // Facilities map is read-only downstream; share it.
+			k := keep(hg, as, LayerOffnet)
+			cp.NominalGbps *= k
+			cp.BurstGbps *= k
+			dst[as] = &cp
+		}
+		return dst
+	}
+	for _, hg := range traffic.All {
+		out.Sites[hg] = cloneSites(m.Sites[hg], hg)
+		out.Upstream[hg] = cloneSites(m.Upstream[hg], hg)
+		out.PNIGbps[hg] = make(map[inet.ASN]float64, len(m.PNIGbps[hg]))
+		for as, v := range m.PNIGbps[hg] {
+			out.PNIGbps[hg][as] = v * keep(hg, as, LayerPNI)
+		}
+		out.IXPPort[hg] = make(map[inet.ASN]float64, len(m.IXPPort[hg]))
+		for as, v := range m.IXPPort[hg] {
+			out.IXPPort[hg][as] = v * keep(hg, as, LayerIXP)
+		}
+	}
+	return out
+}
+
 func (m *Model) serve(mult float64, scale map[traffic.HG]float64, failedFacilities map[inet.FacilityID]bool, burst bool) []Flow {
 	var flows []Flow
 	// Per-(hg, transit) upstream pools, drained greedily in deterministic

@@ -222,3 +222,109 @@ func TestCovidReportZeroGuards(t *testing.T) {
 		t.Error("zero baselines must not divide by zero")
 	}
 }
+
+// TestServeHourMatchesDiurnal: ServeHour is exactly Serve at the diurnal
+// multiplier for that wall-clock hour, with hour wrapping mod 24 — the
+// identity the temporal engine's steady-state oracle leans on.
+func TestServeHourMatchesDiurnal(t *testing.T) {
+	_, m := buildModel(t, 3)
+	for h := 0; h < 24; h++ {
+		want := m.Serve(Diurnal[h], nil, nil)
+		got := m.ServeHour(h, nil, nil, false)
+		if len(got) != len(want) {
+			t.Fatalf("hour %d: %d flows vs %d", h, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("hour %d flow %d differs", h, i)
+			}
+		}
+	}
+	// Hours wrap: 25 ≡ 1, negative hours count back from midnight.
+	for _, pair := range [][2]int{{25, 1}, {-1, 23}, {48, 0}} {
+		a := m.ServeHour(pair[0], nil, nil, false)
+		b := m.ServeHour(pair[1], nil, nil, false)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("hour %d and %d should serve identically", pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func sumPNI(flows []Flow) float64 {
+	var s float64
+	for _, f := range flows {
+		s += f.PNI
+	}
+	return s
+}
+
+// TestWithCuts pins the cut-model contract: empty cut lists alias the
+// receiver, the receiver is never mutated, cuts scale exactly their layer,
+// wildcards hit everything they cover, and stacked cuts multiply.
+func TestWithCuts(t *testing.T) {
+	_, m := buildModel(t, 3)
+	if m.WithCuts(nil) != m {
+		t.Fatal("empty cut list must return the receiver itself")
+	}
+
+	before := m.Serve(1.0, nil, nil)
+	cut := m.WithCuts([]Cut{{Layer: LayerPNI, AllHGs: true, Frac: 1}})
+	after := m.Serve(1.0, nil, nil)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("WithCuts mutated the pristine model")
+		}
+	}
+	if pni := sumPNI(cut.Serve(1.0, nil, nil)); pni != 0 {
+		t.Fatalf("100%% all-HG PNI cut still serves %.3f Gbps over PNI", pni)
+	}
+
+	// A half cut on one hypergiant halves exactly that hypergiant's PNI pool.
+	for as, v := range m.PNIGbps[traffic.Akamai] {
+		half := m.WithCuts([]Cut{{Layer: LayerPNI, HG: traffic.Akamai, Frac: 0.5}})
+		if got := half.PNIGbps[traffic.Akamai][as]; math.Abs(got-v/2) > 1e-12 {
+			t.Fatalf("half cut: PNI %v -> %v, want %v", v, got, v/2)
+		}
+		if got := half.IXPPort[traffic.Akamai][as]; got != m.IXPPort[traffic.Akamai][as] {
+			t.Fatal("PNI cut leaked into the IXP layer")
+		}
+		if half.PNIGbps[traffic.Google][as] != m.PNIGbps[traffic.Google][as] {
+			t.Fatal("akamai cut leaked onto google")
+		}
+		break
+	}
+
+	// ISP-scoped cuts hit only that ISP; stacked cuts compose multiplicatively.
+	for as, v := range m.IXPPort[traffic.Google] {
+		if v == 0 {
+			continue
+		}
+		scoped := m.WithCuts([]Cut{
+			{Layer: LayerIXP, HG: traffic.Google, ISP: as, Frac: 0.5},
+			{Layer: LayerIXP, HG: traffic.Google, ISP: as, Frac: 0.5},
+		})
+		if got := scoped.IXPPort[traffic.Google][as]; math.Abs(got-v/4) > 1e-12 {
+			t.Fatalf("stacked 50%% cuts: %v -> %v, want %v", v, got, v/4)
+		}
+		for other, ov := range m.IXPPort[traffic.Google] {
+			if other != as && scoped.IXPPort[traffic.Google][other] != ov {
+				t.Fatal("ISP-scoped cut leaked onto another ISP")
+			}
+		}
+		break
+	}
+
+	// Offnet cuts scale both nominal and burst site capacity.
+	for as, site := range m.Sites[traffic.Netflix] {
+		c := m.WithCuts([]Cut{{Layer: LayerOffnet, HG: traffic.Netflix, Frac: 0.25}})
+		got := c.Sites[traffic.Netflix][as]
+		if math.Abs(got.NominalGbps-site.NominalGbps*0.75) > 1e-9 ||
+			math.Abs(got.BurstGbps-site.BurstGbps*0.75) > 1e-9 {
+			t.Fatalf("offnet cut: nominal %v->%v burst %v->%v, want 75%%",
+				site.NominalGbps, got.NominalGbps, site.BurstGbps, got.BurstGbps)
+		}
+		break
+	}
+}

@@ -48,8 +48,12 @@ type LinkLoad struct {
 	CapacityGbps float64
 }
 
-// Congested reports whether demand exceeds capacity.
-func (l LinkLoad) Congested() bool { return l.LoadGbps > l.CapacityGbps }
+// Congested reports whether the link is at or beyond capacity. The boundary
+// is inclusive: a positively loaded link whose load equals its capacity has
+// zero headroom and Utilization() == 1.0, and temporal event schedules can
+// land load exactly on capacity, so load == capacity counts as congested.
+// An unused link (load 0) is never congested, whatever its capacity.
+func (l LinkLoad) Congested() bool { return l.LoadGbps > 0 && l.LoadGbps >= l.CapacityGbps }
 
 // Utilization returns load/capacity (0 when capacity is 0).
 func (l LinkLoad) Utilization() float64 {
@@ -108,26 +112,47 @@ func (r *Report) CongestedTransits() []inet.ASN {
 	return out
 }
 
-// Simulate runs the scenario: serve demand with the failed facilities
-// removed, aggregate spill onto shared links, size those links from the
-// baseline (no-failure) loads, and trace the collateral damage.
-func Simulate(m *capacity.Model, d *hypergiant.Deployment, sc Scenario) *Report {
-	mScenariosSimulated.Inc()
+// sanitized fills the zero-value scenario fields with the defaults Simulate
+// has always applied; idempotent.
+func (sc Scenario) sanitized() Scenario {
 	if sc.DemandMult <= 0 {
 		sc.DemandMult = 1.0
 	}
 	if sc.SharedHeadroom <= 1 {
 		sc.SharedHeadroom = 1.25
 	}
+	return sc
+}
+
+// Simulate runs the scenario: serve demand with the failed facilities
+// removed, aggregate spill onto shared links, size those links from the
+// baseline (no-failure) loads, and trace the collateral damage.
+func Simulate(m *capacity.Model, d *hypergiant.Deployment, sc Scenario) *Report {
+	sc = sc.sanitized()
+	baseline := m.Serve(sc.DemandMult, nil, nil)
+	// Under failure/surge the surviving offnets are pushed to burst.
+	flows := m.ServeBurst(sc.DemandMult, sc.Surge, sc.FailFacilities)
+	return Assess(m, d, sc, baseline, flows)
+}
+
+// Assess is the replay entry point behind Simulate: it takes serving splits
+// the caller already computed (the temporal engine serves once per clock
+// step and hands the result here) and derives the full congestion report —
+// shared-link loads, capacities sized from baseline×headroom, direct and
+// collateral ISP sets. Simulate(m, d, sc) is exactly
+// Assess(m, d, sc, m.Serve(...), m.ServeBurst(...)), so engine trajectories
+// and closed-form sweeps agree bit-for-bit by construction.
+func Assess(m *capacity.Model, d *hypergiant.Deployment, sc Scenario, baseline, flows []capacity.Flow) *Report {
+	mScenariosSimulated.Inc()
+	sc = sc.sanitized()
 	w := d.World
 	rep := &Report{
 		Scenario:       sc,
-		Baseline:       m.Serve(sc.DemandMult, nil, nil),
+		Baseline:       baseline,
+		Flows:          flows,
 		DirectISPs:     make(map[inet.ASN]bool),
 		CollateralISPs: make(map[inet.ASN]bool),
 	}
-	// Under failure/surge the surviving offnets are pushed to burst.
-	rep.Flows = m.ServeBurst(sc.DemandMult, sc.Surge, sc.FailFacilities)
 
 	// Direct impact: ISPs owning a failed facility, and hypergiants with
 	// servers there.

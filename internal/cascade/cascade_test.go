@@ -205,3 +205,71 @@ func TestSimulateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestCongestedBoundary pins the inclusive boundary semantics: load exactly
+// at capacity is congested (zero-headroom links in temporal schedules must
+// trip), while an unused link never is — whatever its capacity.
+func TestCongestedBoundary(t *testing.T) {
+	cases := []struct {
+		load, cap float64
+		want      bool
+	}{
+		{0, 0, false},      // unused link, zero capacity
+		{0, 10, false},     // unused link
+		{5, 0, true},       // any load over zero capacity
+		{10, 10, true},     // exactly at capacity: congested (inclusive)
+		{9.999, 10, false}, // just under
+		{10.001, 10, true}, // just over
+	}
+	for _, tc := range cases {
+		l := LinkLoad{LoadGbps: tc.load, CapacityGbps: tc.cap}
+		if got := l.Congested(); got != tc.want {
+			t.Errorf("Congested(load=%v, cap=%v) = %v, want %v", tc.load, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestAssessMatchesSimulate: Simulate is exactly sanitize + Serve +
+// ServeBurst + Assess — the decomposition the temporal engine relies on to
+// share the assessment path with the closed-form oracle.
+func TestAssessMatchesSimulate(t *testing.T) {
+	d, m := setup(t, 2)
+	_, fid, _ := multiHGISP(t, d)
+	sc := DefaultScenario()
+	sc.FailFacilities = map[inet.FacilityID]bool{fid: true}
+	sc.Surge = map[traffic.HG]float64{traffic.Akamai: 2.0}
+
+	want := Simulate(m, d, sc)
+	baseline := m.Serve(sc.DemandMult, nil, nil)
+	flows := m.ServeBurst(sc.DemandMult, sc.Surge, sc.FailFacilities)
+	got := Assess(m, d, sc, baseline, flows)
+
+	if len(got.Flows) != len(want.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(got.Flows), len(want.Flows))
+	}
+	for i := range got.Flows {
+		if got.Flows[i] != want.Flows[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+	for _, pair := range []struct {
+		name      string
+		got, want int
+	}{
+		{"congested IXPs", len(got.CongestedIXPs()), len(want.CongestedIXPs())},
+		{"congested transits", len(got.CongestedTransits()), len(want.CongestedTransits())},
+		{"direct ISPs", len(got.DirectISPs), len(want.DirectISPs)},
+		{"collateral ISPs", len(got.CollateralISPs), len(want.CollateralISPs)},
+	} {
+		if pair.got != pair.want {
+			t.Fatalf("%s differ: %d vs %d", pair.name, pair.got, pair.want)
+		}
+	}
+	// And the isolated assessment decomposes the same way.
+	wantIso := SimulateIsolated(m, d, sc)
+	gotIso := AssessIsolated(m, d, got)
+	if len(gotIso.IsolatedCollateralISPs) != len(wantIso.IsolatedCollateralISPs) {
+		t.Fatalf("isolated collateral differ: %d vs %d",
+			len(gotIso.IsolatedCollateralISPs), len(wantIso.IsolatedCollateralISPs))
+	}
+}

@@ -52,7 +52,14 @@ func (r *IsolatedReport) IsolatedCollateralUsers(w *inet.World) float64 {
 // the plain shared-fate model (the Report) and once with per-hypergiant
 // capacity slices on every shared link.
 func SimulateIsolated(m *capacity.Model, d *hypergiant.Deployment, sc Scenario) *IsolatedReport {
-	rep := Simulate(m, d, sc)
+	return AssessIsolated(m, d, Simulate(m, d, sc))
+}
+
+// AssessIsolated is the replay entry point behind SimulateIsolated: it
+// re-evaluates an existing Report under per-hypergiant capacity slices
+// without re-serving the flows, so the temporal engine can toggle isolation
+// mid-trajectory over the step it already assessed.
+func AssessIsolated(m *capacity.Model, d *hypergiant.Deployment, rep *Report) *IsolatedReport {
 	out := &IsolatedReport{
 		Report:                 rep,
 		IsolatedCollateralISPs: make(map[inet.ASN]bool),

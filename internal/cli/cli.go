@@ -41,8 +41,11 @@ type Common struct {
 	Lineage       string
 	Chaos         string
 	ChaosSeed     int64
+	Hours         int
+	Schedule      string
 
-	fs *flag.FlagSet
+	fs   *flag.FlagSet
+	sink *obs.EventSink
 }
 
 // Register installs the shared flags on fs. Call before the command's own
@@ -64,6 +67,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.Lineage, "lineage", "", "record per-decision provenance and write it as JSONL to this file (query with cmd/explain)")
 	fs.StringVar(&c.Chaos, "chaos", "off", "fault-injection profile: off, light or heavy (default: the scenario's)")
 	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 7, "seed for the fault-injection streams (independent of -seed; default: the scenario's)")
+	fs.IntVar(&c.Hours, "hours", 0, "replay the temporal engine over this many clock hours (0 = off; implied 24 by -schedule)")
+	fs.StringVar(&c.Schedule, "schedule", "", "event-schedule file (demand steps, facility failures, capacity cuts, isolation) for the temporal replay")
 	return c
 }
 
@@ -215,6 +220,33 @@ func (c *Common) Pipeline() (*offnetrisk.Pipeline, error) {
 	return p, nil
 }
 
+// Temporal resolves -hours/-schedule to the replay horizon and the parsed
+// schedule. hours == 0 (and a nil schedule) means no temporal replay was
+// requested; -schedule alone implies a 24-hour horizon. Parse and
+// validation failures of the schedule file are returned as errors.
+func (c *Common) Temporal() (hours int, sched *scenario.Schedule, err error) {
+	if c.Hours < 0 {
+		return 0, nil, fmt.Errorf("cli: -hours %d must be >= 0", c.Hours)
+	}
+	hours = c.Hours
+	if c.Schedule != "" {
+		sched, err = scenario.LoadSchedule(c.Schedule)
+		if err != nil {
+			return 0, nil, err
+		}
+		if hours == 0 {
+			hours = 24
+		}
+	}
+	return hours, sched, nil
+}
+
+// EventSink returns the -events stream opened by Observability (nil when no
+// stream was requested or Observability has not run), so commands can hand
+// it to subsystems that emit their own event types — the temporal engine's
+// trajectory stream rides the same file as the tracer's span events.
+func (c *Common) EventSink() *obs.EventSink { return c.sink }
+
 // Context returns a context cancelled by SIGINT/SIGTERM, so ^C aborts
 // in-flight experiment stages cleanly instead of killing the process
 // mid-write. The returned stop must be deferred.
@@ -258,6 +290,7 @@ func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog
 			return nil, err
 		}
 		sink = s
+		c.sink = sink
 		tr.SetSink(sink)
 		logger.Info("event stream open", "path", c.Events)
 	}
@@ -278,6 +311,7 @@ func (c *Common) Observability(ctx context.Context, tr *obs.Tracer, logger *slog
 	stop := func() {
 		once.Do(func() {
 			if sink != nil {
+				c.sink = nil
 				tr.SetSink(nil)
 				sink.EmitFunnels(obs.Default)
 				if err := sink.Close(); err != nil {

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -120,5 +122,47 @@ func TestPipelineCarriesScenario(t *testing.T) {
 	}
 	if p.Workers != 3 {
 		t.Errorf("pipeline workers %d, want 3", p.Workers)
+	}
+}
+
+// TestTemporalResolution pins the -hours/-schedule contract: off by default,
+// -hours alone replays the steady state, -schedule implies a 24-hour horizon,
+// negative hours and unreadable schedule files are flag errors.
+func TestTemporalResolution(t *testing.T) {
+	if hours, sched, err := parse(t).Temporal(); err != nil || hours != 0 || sched != nil {
+		t.Fatalf("default Temporal() = (%d, %v, %v), want (0, nil, nil)", hours, sched, err)
+	}
+	if hours, sched, err := parse(t, "-hours", "48").Temporal(); err != nil || hours != 48 || sched != nil {
+		t.Fatalf("-hours 48: got (%d, %v, %v)", hours, sched, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sched.json")
+	doc := `{"version": 1, "name": "cli-test", "events": [{"at_hours": 2, "isolation": {"enabled": true}}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hours, sched, err := parse(t, "-schedule", path).Temporal()
+	if err != nil || sched == nil || sched.Name != "cli-test" {
+		t.Fatalf("-schedule: got (%d, %v, %v)", hours, sched, err)
+	}
+	if hours != 24 {
+		t.Fatalf("-schedule alone implies 24 hours, got %d", hours)
+	}
+	if hours, _, err := parse(t, "-hours", "6", "-schedule", path).Temporal(); err != nil || hours != 6 {
+		t.Fatalf("-hours 6 -schedule: got (%d, %v); explicit hours must win", hours, err)
+	}
+
+	if _, _, err := parse(t, "-hours", "-1").Temporal(); err == nil {
+		t.Fatal("-hours -1 accepted")
+	}
+	if _, _, err := parse(t, "-schedule", filepath.Join(t.TempDir(), "absent.json")).Temporal(); err == nil {
+		t.Fatal("missing schedule file accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"version": 9, "name": "x", "events": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := parse(t, "-schedule", badPath).Temporal(); err == nil {
+		t.Fatal("invalid schedule file accepted")
 	}
 }

@@ -142,8 +142,11 @@ func (w *World) FacilitiesOf(as ASN) []*Facility {
 // the population a transit-hosted offnet can serve ("offnets ... can also
 // serve users downstream from a transit provider").
 func (w *World) DownstreamUsers(as ASN) float64 {
+	// Sum in ascending-ASN order: float accumulation over the ISPs map's
+	// iteration order differs in the last ulp from build to build, which is
+	// enough to break byte-identical replay digests downstream.
 	var total float64
-	for _, isp := range w.ISPs {
+	for _, isp := range w.ISPList() {
 		for _, prov := range isp.Providers {
 			if prov == as {
 				total += isp.Users

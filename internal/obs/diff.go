@@ -122,6 +122,20 @@ func CompareManifests(a, b *Manifest, opts DiffOptions) *DiffResult {
 		r.infof("critical path: %.0fms vs %.0fms", a.Profile.CriticalPathMS, b.Profile.CriticalPathMS)
 	}
 
+	// The trajectory digest is a canonical hash of the temporal replay's full
+	// event stream: any divergence in event order, timing, serving splits or
+	// congestion edges between same-seed runs is drift, as are horizon and
+	// schedule-name differences (different replays are different runs).
+	if a.TrajectoryDigest != b.TrajectoryDigest {
+		r.driftf("trajectory digest: %q vs %q", a.TrajectoryDigest, b.TrajectoryDigest)
+	}
+	if a.TemporalHours != b.TemporalHours {
+		r.driftf("temporal hours: %d vs %d", a.TemporalHours, b.TemporalHours)
+	}
+	if a.TemporalSchedule != b.TemporalSchedule {
+		r.driftf("temporal schedule: %q vs %q", a.TemporalSchedule, b.TemporalSchedule)
+	}
+
 	// The lineage digest is a canonical hash of the sampled decision records:
 	// any change to what was decided — or to which evidence was retained —
 	// shows up here even when aggregate counters happen to agree.

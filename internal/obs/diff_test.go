@@ -17,7 +17,7 @@ func testManifest() *Manifest {
 			{Name: "colocation", DurMS: 700, Ended: true},
 		},
 		Metrics: map[string]MetricValue{
-			"ping.rtts_measured": {Type: "counter", Value: 5000},
+			"ping.rtts_measured":     {Type: "counter", Value: 5000},
 			"capacity.sites_tracked": {Type: "gauge", Value: 12},
 			"ping.rtt_ms": {
 				Type: "histogram", Value: 123.456, Count: 100,
@@ -202,5 +202,45 @@ func TestCompareManifestsChaosDrift(t *testing.T) {
 	r := CompareManifests(a, testManifest(), DiffOptions{})
 	if !hasEntry(r.Drift, "chaos profile") || !hasEntry(r.Drift, "degraded") {
 		t.Fatalf("chaos-vs-clean comparison missed drift: %v", r.Drift)
+	}
+}
+
+// TestCompareManifestsTemporalDrift: the trajectory digest, horizon and
+// schedule name are all first-class drift — a replay that changes any of
+// them must fail the runsdiff gate, and a missing-vs-present replay is
+// drift too.
+func TestCompareManifestsTemporalDrift(t *testing.T) {
+	base := func() *Manifest {
+		m := testManifest()
+		m.TrajectoryDigest = "sha256:aaaa"
+		m.TemporalHours = 24
+		m.TemporalSchedule = "ios-flash-crowd"
+		return m
+	}
+	if r := CompareManifests(base(), base(), DiffOptions{}); r.HasDrift() {
+		t.Fatalf("identical temporal manifests drifted: %v", r.Drift)
+	}
+
+	b := base()
+	b.TrajectoryDigest = "sha256:bbbb"
+	if r := CompareManifests(base(), b, DiffOptions{}); !r.HasDrift() || !hasEntry(r.Drift, "trajectory digest") {
+		t.Fatalf("trajectory digest change not drift: %v", r.Drift)
+	}
+
+	b = base()
+	b.TemporalHours = 48
+	if r := CompareManifests(base(), b, DiffOptions{}); !r.HasDrift() || !hasEntry(r.Drift, "temporal hours") {
+		t.Fatalf("temporal hours change not drift: %v", r.Drift)
+	}
+
+	b = base()
+	b.TemporalSchedule = "other"
+	if r := CompareManifests(base(), b, DiffOptions{}); !r.HasDrift() || !hasEntry(r.Drift, "temporal schedule") {
+		t.Fatalf("temporal schedule change not drift: %v", r.Drift)
+	}
+
+	// Replay on one side only: all three fields differ from their zero values.
+	if r := CompareManifests(testManifest(), base(), DiffOptions{}); !r.HasDrift() || !hasEntry(r.Drift, "trajectory digest") {
+		t.Fatalf("replay-vs-no-replay not drift: %v", r.Drift)
 	}
 }

@@ -18,7 +18,8 @@ import (
 
 // Event is one line of the event stream.
 type Event struct {
-	// Type is "span_start", "span_end", or "funnel".
+	// Type is "span_start", "span_end", "funnel", or "temporal" (trajectory
+	// events from the discrete-event engine, payload under Attrs["event"]).
 	Type string `json:"type"`
 	// AtMS is the event's offset from the sink's creation, in milliseconds.
 	AtMS float64 `json:"at_ms"`

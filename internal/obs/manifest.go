@@ -51,6 +51,13 @@ type Manifest struct {
 	// pre-lineage ones (the recorder and its funnels register lazily).
 	LineageDigest string              `json:"lineage_digest,omitempty"`
 	Lineage       []LineageStageCount `json:"lineage,omitempty"`
+	// Temporal provenance (internal/temporal): the canonical SHA-256 of the
+	// replayed trajectory's event stream, with the horizon and schedule that
+	// produced it. All omitted when the run had no -hours/-schedule replay,
+	// so temporal-free manifests stay byte-identical to pre-temporal ones.
+	TrajectoryDigest string `json:"trajectory_digest,omitempty"`
+	TemporalHours    int    `json:"temporal_hours,omitempty"`
+	TemporalSchedule string `json:"temporal_schedule,omitempty"`
 	// Chaos provenance (internal/chaos): which fault profile and chaos seed
 	// the run injected, and whether any stage lost more than its degradation
 	// threshold to injected faults. All omitted on clean runs, so chaos-off

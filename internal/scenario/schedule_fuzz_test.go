@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSchedule drives arbitrary bytes through the strict schedule
+// parser: it must never panic, and anything it accepts must honor the schema
+// invariants — current version, exactly one action per event, in-range
+// timestamps and parameters — and must survive a marshal/re-parse round trip,
+// so an accepted document can always be re-emitted and replayed.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add([]byte(validScheduleDoc))
+	f.Add([]byte(`{"version": 1, "name": "minimal", "events": []}`))
+	f.Add([]byte(`{"version": 1, "name": "open-ended", "events": [{"at_hours": 0, "facility_failure": {"facility": 1}}]}`))
+	f.Add([]byte(`{"version": 1, "name": "bad", "events": [{"at_hours": -1, "isolation": {"enabled": true}}]}`))
+	f.Add([]byte(`{"version": 2, "name": "future", "events": []}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchedule(data)
+		if err != nil {
+			return
+		}
+		if s.Version != ScheduleVersion {
+			t.Fatalf("accepted schedule with version %d", s.Version)
+		}
+		if s.Name == "" {
+			t.Fatal("accepted schedule without a name")
+		}
+		for i := range s.Events {
+			e := &s.Events[i]
+			if _, err := e.kind(); err != nil {
+				t.Fatalf("accepted event %d with bad action count: %v", i, err)
+			}
+			if e.AtHours < 0 || e.AtHours > maxScheduleHours {
+				t.Fatalf("accepted event %d with at_hours %g", i, e.AtHours)
+			}
+			if e.DurationHours < 0 || e.DurationHours > maxScheduleHours {
+				t.Fatalf("accepted event %d with duration_hours %g", i, e.DurationHours)
+			}
+		}
+		// An accepted document round-trips: re-marshal, re-parse, and the
+		// second pass must accept too (validation is stable under Go's
+		// canonical JSON re-encoding).
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted schedule does not re-marshal: %v", err)
+		}
+		again, err := ParseSchedule(out)
+		if err != nil {
+			t.Fatalf("re-marshaled schedule rejected: %v\n%s", err, out)
+		}
+		if again.Name != s.Name || len(again.Events) != len(s.Events) {
+			t.Fatalf("round trip changed the schedule: %q/%d -> %q/%d",
+				s.Name, len(s.Events), again.Name, len(again.Events))
+		}
+	})
+}
